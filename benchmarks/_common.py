@@ -1,0 +1,29 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper: it runs
+the experiment once under pytest-benchmark (``pedantic`` with a single
+round — these are simulations, not microbenchmarks), prints the
+table/series the paper reports, and writes the same text to
+``benchmarks/out/<name>.txt`` so EXPERIMENTS.md can reference it.
+"""
+
+from __future__ import annotations
+
+import os
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/out/."""
+    os.makedirs(OUT_DIR, exist_ok=True)
+    banner = f"\n===== {name} =====\n"
+    print(banner + text)
+    with open(os.path.join(OUT_DIR, f"{name}.txt"), "w") as f:
+        f.write(text + "\n")
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return its
+    value (simulations are too long for statistical repetition)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

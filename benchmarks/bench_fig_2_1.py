@@ -1,0 +1,111 @@
+"""Figure 2.1 — the etree method: construct -> balance -> transform.
+
+Runs the full out-of-core mesh-generation pipeline on a synthetic LA
+basin material model with a deliberately small page cache, and reports
+what the paper reports about the method: octant/element/node counts,
+hanging-point counts, per-step wall time, and disk traffic.  Also
+measures the paper's *local balancing* speedup claim (8-28x on their
+workloads) by timing blocked local balancing against the plain ripple
+algorithm on the same octree.
+"""
+
+import time
+
+import numpy as np
+
+from _common import emit, run_once
+from repro.etree import generate_mesh_database
+from repro.materials import SyntheticBasinModel
+from repro.octree import (
+    LinearOctree,
+    balance_octree,
+    build_adaptive_octree,
+    is_balanced,
+    local_balance_octree,
+)
+from repro.mesh.hexmesh import wavelength_target
+
+
+def fig_2_1(tmp_dir="/tmp/repro_etree_bench"):
+    lines = []
+    L = 80_000.0
+    mat = SyntheticBasinModel(L=L, depth=40_000.0, vs_min=250.0)
+    result = generate_mesh_database(
+        tmp_dir,
+        mat,
+        L=L,
+        fmax=0.1,
+        max_level=6,
+        box_frac=(1, 1, 0.5),
+        h_min=1250.0,
+        blocks_per_axis=4,
+        cache_pages=64,  # small cache: the mesh lives on disk
+    )
+    lines.append("etree pipeline on the synthetic LA basin (out-of-core):")
+    lines.append(f"  unbalanced octants : {result.n_octants_unbalanced:,}")
+    lines.append(f"  elements (balanced): {result.n_elements:,}")
+    lines.append(f"  grid points        : {result.n_nodes:,}")
+    lines.append(
+        f"  hanging points     : {result.n_hanging:,} "
+        f"({100 * result.n_hanging / result.n_nodes:.1f}% — paper's LA mesh: 15.1%)"
+    )
+    lines.append(f"  construct          : {result.construct_seconds:.2f} s")
+    lines.append(f"  balance            : {result.balance_seconds:.2f} s")
+    lines.append(f"  transform          : {result.transform_seconds:.2f} s")
+    for step, st in result.io_stats.items():
+        lines.append(
+            f"  {step:<9} disk I/O : {st['page_reads']:,} page reads, "
+            f"{st['page_writes']:,} page writes"
+        )
+
+    # local vs plain (ripple) balancing on a heavily unbalanced octree
+    rng = np.random.default_rng(0)
+    sites = rng.random((80, 3))
+
+    def target(c, s):
+        inside = np.max(
+            np.abs(c[:, None, :] - sites[None, :, :]), axis=2
+        ) < (s[:, None] / 2)
+        return np.where(inside.any(axis=1), 1 / 128, 1 / 8)
+
+    tree = build_adaptive_octree(target, max_level=7)
+    t0 = time.perf_counter()
+    g = balance_octree(tree)
+    t_global = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    loc = local_balance_octree(tree, blocks_per_axis=4)
+    t_local = time.perf_counter() - t0
+    assert g == loc and is_balanced(loc)
+    # working set: largest per-block octant count vs the whole tree —
+    # the mechanism behind the paper's 8-28x out-of-core speedup
+    from repro.octree.octant import octant_anchor
+    from repro.octree.morton import MAX_COORD
+
+    bsize = MAX_COORD // 4
+    x, y, z, _ = octant_anchor(tree.keys)
+    bid = (x // bsize) * 16 + (y // bsize) * 4 + (z // bsize)
+    biggest_block = int(np.bincount(bid).max())
+    lines.append("")
+    lines.append(
+        f"local balancing of {len(tree):,} -> {len(g):,} octants "
+        f"(2-to-1 violations ripple across {len(g) - len(tree):,} splits):"
+    )
+    lines.append(
+        f"  ripple (global) {t_global:.2f} s | local (4^3 blocks) "
+        f"{t_local:.2f} s | identical results verified"
+    )
+    lines.append(
+        f"  peak working set: {biggest_block:,} octants/block vs "
+        f"{len(tree):,} total ({len(tree) / biggest_block:.0f}x smaller) — "
+        "this locality is what produced the paper's 8-28x speedup on "
+        "multi-GB on-disk meshes; our in-memory numpy rounds are already "
+        "vectorized, so wall-clock parity here is expected"
+    )
+    return "\n".join(lines), result
+
+
+def test_fig_2_1(benchmark, tmp_path):
+    text, result = run_once(benchmark, lambda: fig_2_1(str(tmp_path)))
+    emit("fig_2_1", text)
+    assert result.n_elements >= result.n_octants_unbalanced
+    assert result.n_hanging > 0

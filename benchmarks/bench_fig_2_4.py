@@ -1,0 +1,100 @@
+"""Figure 2.4 — hexahedral vs tetrahedral codes at two frequencies.
+
+The paper compares ground velocity from the new hexahedral code against
+the verified tetrahedral baseline at two receivers, low-passed at 0.5 Hz
+(within the tet code's resolution: "very good agreement") and at 1.0 Hz
+(beyond it: "significant differences ... because our tetrahedral model
+cannot represent the ground motion at this higher frequency").
+
+We run the identical scaled experiment: a layered basin, a buried
+double-couple source, two surface receivers, both solvers on the same
+mesh, and report waveform correlations at a low (resolved) and a high
+(unresolved) cutoff.  The reproduction target is the *shape*:
+correlation high at the low cutoff, sharply lower at the high one.
+"""
+
+import numpy as np
+
+from _common import emit, run_once
+from repro.io.seismogram import ReceiverArray
+from repro.materials import LayeredMaterial
+from repro.mesh import extract_mesh
+from repro.octree import build_adaptive_octree
+from repro.solver import ElasticWaveSolver, TetWaveSolver
+from repro.sources import MomentTensorSource, double_couple_moment
+from repro.sources.fault import SourceCollection
+
+
+def fig_2_4():
+    L = 4000.0
+    n = 16
+    mat = LayeredMaterial(
+        [800.0, 2000.0],
+        vs=[600.0, 1200.0, 2000.0],
+        vp=[1200.0, 2400.0, 3600.0],
+        rho=[1900.0, 2200.0, 2500.0],
+    )
+    tree = build_adaptive_octree(
+        lambda c, s: np.full(len(c), 1.0 / n), max_level=5
+    )
+    mesh = extract_mesh(tree, L=L)
+    src = MomentTensorSource(
+        position=np.array([0.45 * L, 0.55 * L, 0.4 * L]),
+        moment=double_couple_moment(30.0, 60.0, 90.0, 5e14),
+        T=0.2,
+        t0=1.0,
+    )
+    forces = SourceCollection(mesh, tree, [src])
+    # two receivers: one near-epicentral ("JFP"-like), one distant ("TAR")
+    rec_pos = np.array(
+        [[0.5 * L, 0.5 * L, 0.0], [0.8 * L, 0.25 * L, 0.0]]
+    )
+    t_end = 6.0
+
+    hexs = ElasticWaveSolver(mesh, tree, mat, stacey_c1=False)
+    s_hex = hexs.run(forces, t_end, receivers=ReceiverArray(mesh, rec_pos))
+    tets = TetWaveSolver(mesh, mat, dt=hexs.dt)
+    s_tet = tets.run(forces, t_end, receivers=ReceiverArray(mesh, rec_pos))
+
+    # resolved band of this mesh: h = 250 m, slowest vs = 600 m/s ->
+    # ~0.24 Hz at 10 ppw; use scaled analogues of the paper's 0.5/1.0 Hz
+    f_low, f_high = 0.25, 1.0
+    rows = []
+    for r, name in enumerate(("JFP-like", "TAR-like")):
+        for fc in (f_low, f_high):
+            a = s_hex.lowpassed(fc).data[r]
+            b = s_tet.lowpassed(fc).data[r]
+            corr = float(np.corrcoef(a.ravel(), b.ravel())[0, 1])
+            ratio = float(np.abs(a).max() / np.abs(b).max())
+            rows.append((name, fc, corr, ratio))
+    lines = [
+        "Hex vs tet seismograms (Figure 2.4 role; cutoffs scaled to this",
+        f"mesh's resolved band — paper used 0.5 and 1.0 Hz):",
+        "",
+        f"{'receiver':>10} {'cutoff Hz':>10} {'correlation':>12} {'amp ratio':>10}",
+    ]
+    for name, fc, corr, ratio in rows:
+        lines.append(f"{name:>10} {fc:>10.2f} {corr:>12.3f} {ratio:>10.3f}")
+    lines.append("")
+    lines.append(
+        "expected shape: near-1 correlation at the resolved cutoff, "
+        "visible divergence at the high cutoff (the tet mesh cannot "
+        "represent the higher-frequency motion)"
+    )
+    mem_ratio = tets.memory_bytes() / hexs.memory_bytes()
+    lines.append(
+        f"solver memory: tet/hex = {mem_ratio:.1f}x "
+        "(paper: ~10x more memory for the grid-point-based tet code)"
+    )
+    return "\n".join(lines), rows
+
+
+def test_fig_2_4(benchmark):
+    text, rows = run_once(benchmark, fig_2_4)
+    emit("fig_2_4", text)
+    by_f = {}
+    for name, fc, corr, ratio in rows:
+        by_f.setdefault(fc, []).append(corr)
+    f_low, f_high = sorted(by_f)
+    assert min(by_f[f_low]) > 0.9
+    assert max(by_f[f_high]) < min(by_f[f_low])

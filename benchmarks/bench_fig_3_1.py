@@ -1,0 +1,73 @@
+"""Figure 3.1 — the seismic source model.
+
+The figure defines the dislocation function g(t; T, t0, u0): zero until
+the delay time T, rising to the dislocation magnitude over the rise
+time t0, with a hat-function (isosceles-triangle) slip velocity.  The
+benchmark tabulates the family, verifies the defining properties, and
+checks the analytic parameter derivatives the source inversion uses.
+"""
+
+import numpy as np
+
+from _common import emit, run_once
+from repro.sources import dslip_dT, dslip_dt0, slip_function, slip_rate
+
+
+def fig_3_1():
+    lines = ["Seismic source model g(t; T, t0) (Figure 3.1):", ""]
+    t = np.linspace(0, 4.0, 4001)
+    cases = [(0.5, 1.0), (1.0, 1.5), (0.0, 0.5)]
+    lines.append("  t(s)   " + "  ".join(f"T={T},t0={t0}" for T, t0 in cases))
+    for i in range(0, len(t), 400):
+        vals = "   ".join(
+            f"{float(slip_function(t[i], T, t0)):8.4f}" for T, t0 in cases
+        )
+        lines.append(f"  {t[i]:4.1f}  {vals}")
+    checks = {}
+    for T, t0 in cases:
+        v = slip_rate(t, T, t0)
+        checks[(T, t0)] = {
+            "unit_slip": float(slip_function(t[-1], T, t0)),
+            "velocity_area": float(np.trapezoid(v, t)),
+            "velocity_peak": float(v.max()),
+            "peak_expected": 2.0 / t0,
+            "onset_ok": bool(np.all(v[t < T - 1e-9] == 0.0)),
+        }
+    lines.append("")
+    lines.append("defining properties (hat slip velocity):")
+    for (T, t0), c in checks.items():
+        lines.append(
+            f"  T={T}, t0={t0}: final slip {c['unit_slip']:.4f} (=1), "
+            f"velocity area {c['velocity_area']:.4f} (=1), peak "
+            f"{c['velocity_peak']:.3f} (=2/t0={c['peak_expected']:.3f}), "
+            f"zero before T: {c['onset_ok']}"
+        )
+    # analytic derivatives vs finite differences (off the knots)
+    rng = np.random.default_rng(0)
+    tt = rng.uniform(0.05, 3.9, 200)
+    T0, t00 = 0.8, 1.1
+    eps = 1e-6
+    knots = np.array([T0, T0 + t00 / 2, T0 + t00])
+    ok = np.min(np.abs(tt[:, None] - knots[None, :]), axis=1) > 1e-3
+    tt = tt[ok]
+    fd_T = (slip_function(tt, T0 + eps, t00) - slip_function(tt, T0 - eps, t00)) / (2 * eps)
+    fd_t0 = (slip_function(tt, T0, t00 + eps) - slip_function(tt, T0, t00 - eps)) / (2 * eps)
+    err_T = float(np.abs(dslip_dT(tt, T0, t00) - fd_T).max())
+    err_t0 = float(np.abs(dslip_dt0(tt, T0, t00) - fd_t0).max())
+    lines.append("")
+    lines.append(
+        f"analytic source derivatives vs FD: max |dg/dT err| = {err_T:.2e}, "
+        f"max |dg/dt0 err| = {err_t0:.2e}"
+    )
+    return "\n".join(lines), (checks, err_T, err_t0)
+
+
+def test_fig_3_1(benchmark):
+    text, (checks, err_T, err_t0) = run_once(benchmark, fig_3_1)
+    emit("fig_3_1", text)
+    for c in checks.values():
+        assert abs(c["unit_slip"] - 1.0) < 1e-12
+        assert abs(c["velocity_area"] - 1.0) < 1e-3
+        assert abs(c["velocity_peak"] - c["peak_expected"]) < 0.01
+        assert c["onset_ok"]
+    assert err_T < 1e-5 and err_t0 < 1e-5

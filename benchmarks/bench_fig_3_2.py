@@ -1,0 +1,160 @@
+"""Figure 3.2 — multiscale material inversion of a basin cross-section.
+
+The paper inverts the shear velocity of a vertical LA-basin section
+from free-surface records of an idealized strike-slip event, starting
+from a homogeneous guess and marching through inversion grids 1x1 ->
+257x257 (Fig 3.2a), then compares 64 vs 16 receivers including the
+waveform fit at a NON-receiver location (Fig 3.2b).
+
+Scaled reproduction (repro band 3): a 40 x 20 km section with layered
+velocities (~1.0-3.5 km/s) and a slow basin lens, wave grid 80 x 40,
+multiscale material grids 3x2 ... 33x17 nodes.  Reported: relative
+model error per continuation level (should fall monotonically), the
+64-vs-16-receiver comparison, and the velocity-history misfit at a
+non-receiver site for the initial guess vs the inverted model.
+"""
+
+import numpy as np
+
+from _common import emit, run_once
+from repro.core import AntiplaneSetup, MaterialInversion
+
+
+def vs_target(pts):
+    """Layered section with a slow sedimentary lens (km/s)."""
+    x, z = pts[:, 0], pts[:, 1]
+    vs = np.full(len(pts), 1.6)
+    vs = np.where(z > 4.0, 2.2, vs)
+    vs = np.where(z > 9.0, 2.9, vs)
+    vs = np.where(z > 14.0, 3.5, vs)
+    # basin lens near the surface
+    lens = ((x - 14.0) / 9.0) ** 2 + ((z - 0.0) / 3.2) ** 2 < 1.0
+    vs = np.where(lens, 1.0, vs)
+    # stiff inclusion at mid depth
+    inc = ((x - 28.0) / 4.0) ** 2 + ((z - 7.0) / 2.5) ** 2 < 1.0
+    vs = np.where(inc, 3.2, vs)
+    return vs
+
+
+def run_inversion(n_receivers: int, n_levels: int = 5):
+    setup = AntiplaneSetup(
+        vs_target,
+        lengths=(40.0, 20.0),
+        wave_shape=(80, 40),
+        fault_x_frac=0.55,
+        fault_depth_frac=(0.3, 0.8),
+        rupture_velocity=2.5,
+        t0=0.8,
+        n_receivers=n_receivers,
+        t_end=30.0,
+        noise=0.05,  # the paper adds 5% noise
+        seed=1,
+    )
+    inv = MaterialInversion(setup, beta_tv=3e-6, barrier_gamma=1e-9,
+                            mu_min=0.2)
+    res = inv.run(
+        n_levels=n_levels, newton_per_level=10, cg_maxiter=40, m_init=4.0
+    )
+    return setup, inv, res
+
+
+def fig_3_2():
+    lines = ["Multiscale material inversion (Figure 3.2):", ""]
+    setup64, inv64, res64 = run_inversion(64)
+    grids = setup64.material_grids(5)
+    m_init_err = None
+    lines.append("(a) continuation stages, 64 receivers, 5% noise:")
+    lines.append(f"{'grid (nodes)':>14} {'rel model error':>16} {'J':>12}")
+    for (shape, gn), err in zip(res64.multiscale.levels, res64.model_errors):
+        nodes = (shape[0] + 1, shape[1] + 1)
+        lines.append(
+            f"{str(nodes):>14} {err:>16.3f} {gn.objective:>12.3e}"
+        )
+    lines.append(
+        f"  total CG iterations: {res64.multiscale.total_cg_iterations} "
+        "(each = 1 forward + 1 adjoint wave solve)"
+    )
+    J_noise = 0.5 * setup64.dt * float(
+        np.sum((setup64.data - setup64.clean_data) ** 2)
+    )
+    J_final = res64.multiscale.levels[-1][1].objective
+    lines.append(
+        f"  final J = {J_final:.3f} vs the 5%-noise floor "
+        f"{J_noise:.3f}: the data are fit to the noise level"
+    )
+
+    setup16, inv16, res16 = run_inversion(16)
+    lines.append("")
+    lines.append("(b) receiver-density study (final level):")
+    lines.append(
+        f"  64 receivers: rel model error {res64.model_errors[-1]:.3f}"
+    )
+    lines.append(
+        f"  16 receivers: rel model error {res16.model_errors[-1]:.3f}"
+    )
+
+    # waveform check at a surface site that is a receiver in NEITHER
+    # configuration (a central, well-illuminated location, as in the
+    # paper's Fig 3.2b)
+    surf = setup64.solver.surface_nodes()
+    rec_set = set(int(r) for r in setup64.receivers) | set(
+        int(r) for r in setup16.receivers
+    )
+    center = len(surf) // 2
+    non_rec = next(
+        int(surf[center + d])
+        for d in range(len(surf) // 2)
+        if int(surf[center + d]) not in rec_set
+    )
+    grid_f = grids[-1]
+    m_true = grid_f.sample(setup64.mu_target_fn)
+    w_true = inv64.predicted_waveform(m_true, grid_f, non_rec)
+    rows = []
+    from repro.util.filters import lowpass
+
+    f_band = 1.0 / setup64.params_true.t0[0]  # dominant source band
+    wt = lowpass(w_true, setup64.dt, f_band)
+    for label, inv, res in (("64", inv64, res64), ("16", inv16, res16)):
+        m0 = np.full(grid_f.n, 4.0)
+        wi = lowpass(
+            inv.predicted_waveform(m0, grid_f, non_rec), setup64.dt, f_band
+        )
+        wv = lowpass(
+            inv.predicted_waveform(res.m_final, grid_f, non_rec),
+            setup64.dt,
+            f_band,
+        )
+        c_init = float(np.corrcoef(wi, wt)[0, 1])
+        c_inv = float(np.corrcoef(wv, wt)[0, 1])
+        rows.append((label, c_init, c_inv))
+        lines.append(
+            f"  {label} receivers, non-receiver waveform correlation with "
+            f"the target: initial guess {c_init:.3f} -> inverted {c_inv:.3f}"
+        )
+    lines.append(
+        "  (paper: inverted waveforms remain close to the target even at "
+        "non-receiver locations and with 16 receivers)"
+    )
+    return "\n".join(lines), (res64, res16, rows)
+
+
+def test_fig_3_2(benchmark):
+    text, (res64, res16, rows) = run_once(benchmark, fig_3_2)
+    emit("fig_3_2", text)
+    errs = res64.model_errors
+    # continuation: errors fall with refinement, substantially overall
+    # (the residual is sharp-interface smearing plus the weakly
+    # illuminated deep corners, at 5% noise)
+    assert errs[-1] < errs[0]
+    assert errs[-1] < 0.35
+    # more receivers resolve the model at least as well
+    assert res64.model_errors[-1] <= res16.model_errors[-1] + 0.05
+    # but even 16 receivers approximate the target closely
+    assert res16.model_errors[-1] < 0.4
+    # non-receiver waveforms: the inverted model predicts the unseen
+    # site far better than the initial guess (the paper's traces match
+    # more closely still — its final grid is 257x257 vs our 33x17, see
+    # EXPERIMENTS.md)
+    for label, c_init, c_inv in rows:
+        assert c_inv > 0.5
+        assert c_inv > c_init + 0.4

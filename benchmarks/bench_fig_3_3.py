@@ -1,0 +1,127 @@
+"""Figure 3.3 — source inversion: initial guess, 5th iteration, solution.
+
+The paper inverts the fault source fields — delay time T(x),
+dislocation amplitude u0(x), rise time t0(x) — with the material fixed,
+and shows the profiles at the initial guess, the 5th Newton iteration,
+and convergence ("the latter essentially coincides with the target"),
+plus the displacement fit at a receiver.
+
+We reproduce exactly that protocol on the scaled antiplane section and
+report the relative error of each source field at the same three
+stages, and the receiver waveform misfit.
+"""
+
+import numpy as np
+
+from _common import emit, run_once
+from repro.core import AntiplaneSetup, SourceInversion
+from repro.inverse.fault_source import SourceParams
+
+
+def vs_section(pts):
+    vs = np.full(len(pts), 1.8)
+    vs = np.where(pts[:, 1] > 6.0, 2.4, vs)
+    vs = np.where(pts[:, 1] > 12.0, 3.0, vs)
+    return vs
+
+
+def fig_3_3():
+    setup = AntiplaneSetup(
+        vs_section,
+        lengths=(24.0, 12.0),
+        wave_shape=(48, 24),
+        fault_x_frac=0.5,
+        fault_depth_frac=(0.2, 0.8),
+        rupture_velocity=2.2,
+        u0=1.0,
+        t0=1.0,
+        n_receivers=32,
+        t_end=18.0,
+        noise=0.0,
+        seed=0,
+    )
+    pt = setup.params_true
+    inv = SourceInversion(setup)
+    p0 = SourceParams(
+        u0=np.full(setup.fault.ns, 1.3),
+        t0=np.full(setup.fault.ns, 1.4),
+        T=np.full(setup.fault.ns, float(np.mean(pt.T))),
+    )
+
+    stages = {}
+
+    def rel(p):
+        return {
+            "u0": float(np.linalg.norm(p.u0 - pt.u0) / np.linalg.norm(pt.u0)),
+            "t0": float(np.linalg.norm(p.t0 - pt.t0) / np.linalg.norm(pt.t0)),
+            "T": float(
+                np.linalg.norm(p.T - pt.T) / max(np.linalg.norm(pt.T), 1e-12)
+            ),
+        }
+
+    def cb(it, x, J):
+        if it == 4:  # after the 5th Newton iteration
+            stages["5th iteration"] = rel(SourceParams.unpack(x))
+
+    stages["initial guess"] = rel(p0)
+    p_hat, res = inv.run(p_init=p0, max_newton=25, cg_maxiter=40, callback=cb)
+    stages["solution"] = rel(p_hat)
+
+    # receiver displacement fit
+    s = setup
+    u_init = s.solver.march(
+        s.mu_true_e, s.fault.forcing(s.mu_true_e, p0, s.dt), s.nsteps, s.dt
+    )[:, s.receivers]
+    u_hat = s.solver.march(
+        s.mu_true_e, s.fault.forcing(s.mu_true_e, p_hat, s.dt), s.nsteps, s.dt
+    )[:, s.receivers]
+    mis_init = float(
+        np.linalg.norm(u_init - s.clean_data) / np.linalg.norm(s.clean_data)
+    )
+    mis_hat = float(
+        np.linalg.norm(u_hat - s.clean_data) / np.linalg.norm(s.clean_data)
+    )
+
+    lines = ["Source inversion stages (Figure 3.3):", ""]
+    lines.append(f"{'stage':>16} {'u0 rel err':>11} {'t0 rel err':>11} {'T rel err':>11}")
+    for name in ("initial guess", "5th iteration", "solution"):
+        e = stages[name]
+        lines.append(
+            f"{name:>16} {e['u0']:>11.3f} {e['t0']:>11.3f} {e['T']:>11.3f}"
+        )
+    lines.append("")
+    lines.append("converged source fields vs target (per fault segment):")
+    lines.append(f"{'depth km':>9} {'u0':>7} {'u0*':>7} {'t0':>7} {'t0*':>7} {'T':>7} {'T*':>7}")
+    for d, a, b, c, dd, e, f in zip(
+        setup.fault.depths, p_hat.u0, pt.u0, p_hat.t0, pt.t0, p_hat.T, pt.T
+    ):
+        lines.append(
+            f"{d:>9.2f} {a:>7.3f} {b:>7.3f} {c:>7.3f} {dd:>7.3f} "
+            f"{e:>7.3f} {f:>7.3f}"
+        )
+    lines.append("")
+    lines.append(
+        f"receiver displacement misfit: initial {mis_init:.3f} -> "
+        f"converged {mis_hat:.4f}"
+    )
+    lines.append(
+        f"wave-equation solves used: {inv.problem.n_wave_solves} "
+        f"({res.newton_iterations} Newton, {res.total_cg_iterations} CG)"
+    )
+    return "\n".join(lines), (stages, mis_init, mis_hat)
+
+
+def test_fig_3_3(benchmark):
+    text, (stages, mis_init, mis_hat) = run_once(benchmark, fig_3_3)
+    emit("fig_3_3", text)
+    # the 5th iteration improves the source model overall (individual
+    # fields can transiently trade off — the paper's middle column shows
+    # t0 still off-target at iteration 5 too); the converged solution
+    # "essentially coincides with the target"
+    mean5 = np.mean([stages["5th iteration"][f] for f in ("u0", "t0", "T")])
+    mean0 = np.mean([stages["initial guess"][f] for f in ("u0", "t0", "T")])
+    assert mean5 < mean0
+    for f in ("u0", "t0", "T"):
+        assert stages["solution"][f] < 0.05
+    assert mis_hat < 0.02
+    assert mis_hat < 0.1 * mis_init

@@ -1,0 +1,73 @@
+"""Microbenchmarks of the solver's hot kernels.
+
+Unlike the table/figure reproductions (single-shot simulations), these
+use pytest-benchmark's statistical repetition: they track the
+throughput of the operations the paper's performance engineering is
+about — the element-based dense matvec (vs CSR), the scalar-wave
+kernel, the hanging-node projection, and Morton encoding.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fem import ElasticOperator, assemble_csr
+from repro.mesh import build_constraints, extract_mesh, uniform_hex_mesh
+from repro.octree import balance_octree, build_adaptive_octree, morton_encode
+from repro.solver import RegularGridScalarWave
+
+
+@pytest.fixture(scope="module")
+def hex_problem():
+    mesh = uniform_hex_mesh(16, L=1000.0)
+    lam = np.full(mesh.nelem, 2e9)
+    mu = np.full(mesh.nelem, 1e9)
+    op = ElasticOperator(mesh.conn, mesh.elem_h, lam, mu, mesh.nnode)
+    A = assemble_csr(mesh.conn, mesh.elem_h, lam, mu, mesh.nnode)
+    rng = np.random.default_rng(0)
+    u = rng.standard_normal((mesh.nnode, 3))
+    return mesh, op, A, u
+
+
+def test_element_matvec_throughput(benchmark, hex_problem):
+    mesh, op, A, u = hex_problem
+    benchmark(op.matvec, u)
+    benchmark.extra_info["elements"] = mesh.nelem
+    benchmark.extra_info["flops_per_apply"] = op.flops_per_matvec
+
+
+def test_csr_matvec_throughput(benchmark, hex_problem):
+    mesh, op, A, u = hex_problem
+    v = u.ravel()
+    benchmark(lambda: A @ v)
+
+
+def test_scalar_wave_kernel(benchmark):
+    s = RegularGridScalarWave((64, 64), 10.0, 1000.0)
+    mu = np.full(s.nelem, 1e9)
+    rng = np.random.default_rng(1)
+    u = rng.standard_normal(s.nnode)
+    benchmark(s.apply_K, mu, u)
+
+
+def test_hanging_projection(benchmark):
+    def target(c, s):
+        return np.where(np.all(c < 0.5, axis=1), 1 / 16, 1 / 8)
+
+    tree = balance_octree(build_adaptive_octree(target, max_level=5))
+    mesh = extract_mesh(tree, L=1000.0)
+    info = build_constraints(tree, mesh)
+    rng = np.random.default_rng(2)
+    r = rng.standard_normal((mesh.nnode, 3))
+    B, BT = info.B, info.B.T.tocsr()
+
+    def project():
+        return B @ (BT @ r)
+
+    benchmark(project)
+    benchmark.extra_info["hanging"] = info.n_hanging
+
+
+def test_morton_encode_throughput(benchmark):
+    rng = np.random.default_rng(3)
+    pts = rng.integers(0, 2**16, size=(1_000_000, 3)).astype(np.uint64)
+    benchmark(morton_encode, pts[:, 0], pts[:, 1], pts[:, 2])

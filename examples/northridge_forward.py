@@ -1,0 +1,82 @@
+"""Scaled Northridge scenario in the synthetic Greater-LA basin.
+
+The workload of the paper's Section 2 at laptop scale: the idealized
+blind-thrust source rupturing under a soft sedimentary basin, with
+wavelength-adaptive octree meshing, Rayleigh attenuation, Stacey
+absorbing boundaries, and free-surface snapshots.  Prints the
+ground-motion pattern facts Figure 2.5 shows: rupture directivity and
+basin amplification.
+
+Run:  python examples/northridge_forward.py
+"""
+
+import numpy as np
+
+from repro.core import ForwardSimulation
+from repro.materials import SyntheticBasinModel
+from repro.sources import idealized_northridge
+
+
+def main():
+    L = 80_000.0
+    material = SyntheticBasinModel(L=L, depth=40_000.0, vs_min=400.0)
+
+    sim = ForwardSimulation(
+        material,
+        L=L,
+        fmax=0.0625,  # scaled from the paper's 1 Hz production runs
+        box_frac=(1, 1, 0.5),
+        max_level=6,
+        h_min=1250.0,
+        damping_ratio=0.03,
+        damping_band=(0.00625, 0.0625),
+    )
+    summary = sim.mesh_summary()
+    print("LA-basin mesh:")
+    for k, v in summary.items():
+        print(f"  {k}: {v}")
+
+    scenario = idealized_northridge(L=L, n_strike=6, n_dip=4, rise_time=2.0)
+    print(
+        f"\nNorthridge-like source: strike {scenario.strike_deg}, "
+        f"dip {scenario.dip_deg}, rake {scenario.rake_deg}, "
+        f"{scenario.n_subfaults} subfaults, M0 = {scenario.total_moment:.2e} N m"
+    )
+
+    # stations: epicentral, forward-directivity, backward, basin, rock
+    epi = scenario.hypocenter[:2]
+    st = np.deg2rad(scenario.strike_deg)
+    e_strike = np.array([np.sin(st), np.cos(st)])
+    stations = {
+        "epicentral": np.array([*epi, 0.0]),
+        "forward-directivity": np.array([*(epi + 25_000 * e_strike), 0.0]),
+        "backward": np.array([*(epi - 25_000 * e_strike), 0.0]),
+        "basin-center": np.array([0.55 * L, 0.45 * L, 0.0]),
+        "rock-site": np.array([0.08 * L, 0.08 * L, 0.0]),
+    }
+    names = list(stations)
+    positions = np.stack([np.clip(stations[n], 0, L - 1) for n in names])
+    result = sim.run(
+        scenario, t_end=40.0, receivers=positions, snapshot_every=50
+    )
+    seis = result.seismograms
+    print(f"\nsimulated {result.nsteps} steps of 40 s at dt={sim.dt:.3f} s")
+    print("\nstation               PGV (m/s)")
+    pgv = np.abs(seis.data).max(axis=(1, 2))
+    for n, v in zip(names, pgv):
+        print(f"  {n:<20} {v:8.4f}")
+    print(
+        f"\nforward/backward directivity ratio: "
+        f"{pgv[1] / max(pgv[2], 1e-12):.2f}"
+    )
+    print(
+        f"basin/rock amplification          : "
+        f"{pgv[3] / max(pgv[4], 1e-12):.2f}"
+    )
+    frames = result.snapshots.as_array()
+    print(f"\n{frames.shape[0]} surface snapshots recorded; "
+          f"wavefield peak {frames.max():.3e} m")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Invert the earthquake source from surface records.
+
+The paper's Figure 3.3 experiment: with the basin structure known,
+recover the rupture's dislocation amplitude u0(x), rise time t0(x), and
+delay time T(x) along the fault from antiplane surface records — the
+delay-time profile reveals the rupture propagation speed.
+
+Run:  python examples/source_inversion.py
+"""
+
+import numpy as np
+
+from repro.core import AntiplaneSetup, SourceInversion
+from repro.inverse.fault_source import SourceParams
+
+
+def vs_section(pts):
+    vs = np.full(len(pts), 1.8)
+    vs = np.where(pts[:, 1] > 5.0, 2.5, vs)
+    return vs
+
+
+def main():
+    setup = AntiplaneSetup(
+        vs_section,
+        lengths=(20.0, 10.0),
+        wave_shape=(40, 20),
+        fault_x_frac=0.5,
+        fault_depth_frac=(0.2, 0.8),
+        rupture_velocity=2.0,
+        u0=1.0,
+        t0=1.0,
+        n_receivers=24,
+        t_end=16.0,
+    )
+    pt = setup.params_true
+    print(
+        f"target rupture: {setup.fault.ns} fault segments, "
+        f"u0 = {pt.u0[0]:.2f} m, rise time {pt.t0[0]:.2f} s, rupture "
+        f"velocity 2.0 km/s encoded in T(x)"
+    )
+
+    inv = SourceInversion(setup)
+    p0 = SourceParams(
+        u0=np.full(setup.fault.ns, 1.4),
+        t0=np.full(setup.fault.ns, 1.5),
+        T=np.full(setup.fault.ns, float(np.mean(pt.T))),
+    )
+    print("\ninverting (Gauss-Newton-CG, Tikhonov on each field)...")
+    p_hat, res = inv.run(p_init=p0, max_newton=25, cg_maxiter=40,
+                         verbose=True)
+
+    print("\n depth(km)    u0_hat  u0_true    t0_hat  t0_true     T_hat   T_true")
+    for d, a, b, c, e, f, g in zip(
+        setup.fault.depths, p_hat.u0, pt.u0, p_hat.t0, pt.t0, p_hat.T, pt.T
+    ):
+        print(
+            f"  {d:8.2f}  {a:8.3f} {b:8.3f}  {c:8.3f} {e:8.3f}  "
+            f"{f:8.3f} {g:8.3f}"
+        )
+
+    # the recovered delay-time slope gives the rupture velocity
+    dz = np.diff(setup.fault.depths)
+    dT = np.abs(np.diff(p_hat.T))
+    vr = float(np.median(dz[dT > 1e-6] / dT[dT > 1e-6]))
+    print(f"\nrecovered rupture velocity ~ {vr:.2f} km/s (target 2.0)")
+    print(
+        f"total wave-equation solves: {inv.problem.n_wave_solves} — the "
+        "inverse problem costs hundreds of forward simulations (paper "
+        "Section 4)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: the environment has no `wheel` package, so editable
+installs must go through `pip install -e . --no-build-isolation
+--no-use-pep517` (see README). All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

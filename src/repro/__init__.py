@@ -1,0 +1,41 @@
+"""repro: reproduction of Akcelik et al., "High Resolution Forward and
+Inverse Earthquake Modeling on Terascale Computers" (SC2003).
+
+The package implements the paper's two halves:
+
+* **Forward modeling** — octree-based multiresolution hexahedral meshes
+  (:mod:`repro.octree`, :mod:`repro.etree`, :mod:`repro.mesh`), trilinear
+  hexahedral Galerkin finite elements with element-based dense matvecs
+  (:mod:`repro.fem`), Stacey absorbing boundaries and Rayleigh damping
+  (:mod:`repro.physics`), an explicit central-difference solver with
+  hanging-node projection (:mod:`repro.solver`), and a simulated-MPI
+  parallel layer with an AlphaServer machine model (:mod:`repro.parallel`).
+
+* **Inverse modeling** — discrete-adjoint scalar wave inversion for
+  material and source fields with total-variation/Tikhonov regularization,
+  Gauss-Newton-CG, reduced-Hessian preconditioning and multiscale grid
+  continuation (:mod:`repro.inverse`).
+
+High-level entry points live in :mod:`repro.core`:
+
+>>> from repro.core import ForwardSimulation, MaterialInversion
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "octree",
+    "etree",
+    "mesh",
+    "fem",
+    "physics",
+    "materials",
+    "sources",
+    "solver",
+    "parallel",
+    "analytic",
+    "inverse",
+    "io",
+    "util",
+]

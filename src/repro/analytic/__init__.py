@@ -1,0 +1,23 @@
+"""Closed-form solutions for verification (paper Section 2.5 / Fig 2.2).
+
+The paper verifies the hexahedral code against a closed-form solution
+for a layer over a halfspace and against the earlier tetrahedral code.
+We verify against (a) the exact 1D SH layer-over-halfspace response
+(Haskell transfer matrix) and plane-interface reflection/transmission
+coefficients, and (b) the 3D homogeneous full-space Green's function
+for a point force (Stokes solution, Aki & Richards eq. 4.23).
+"""
+
+from repro.analytic.layer_halfspace import (
+    layer_halfspace_transfer,
+    sh_reflection_transmission,
+    fundamental_frequency,
+)
+from repro.analytic.greens import stokes_point_force
+
+__all__ = [
+    "layer_halfspace_transfer",
+    "sh_reflection_transmission",
+    "fundamental_frequency",
+    "stokes_point_force",
+]

@@ -1,0 +1,60 @@
+"""Stokes solution: point force in a homogeneous elastic full space.
+
+Aki & Richards (2002), eq. 4.23: for a point force ``F(t) e_j`` at the
+origin,
+
+    ``u_i(x, t) = 1/(4 pi rho) [ (3 g_i g_j - d_ij)/r^3 * int_{r/vp}^{r/vs} tau F(t - tau) dtau
+                  + g_i g_j / (vp^2 r) F(t - r/vp)
+                  - (g_i g_j - d_ij) / (vs^2 r) F(t - r/vs) ]``
+
+with ``g = x / r``.  The near-field integral is evaluated numerically
+with trapezoid quadrature on the same time lattice as the force.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+
+def stokes_point_force(
+    x: np.ndarray,
+    t: np.ndarray,
+    force: Callable[[np.ndarray], np.ndarray],
+    direction: np.ndarray,
+    *,
+    rho: float,
+    vp: float,
+    vs: float,
+    nquad: int = 200,
+) -> np.ndarray:
+    """Displacement time series ``(len(t), 3)`` at receiver ``x``.
+
+    ``force(t)`` is the (vectorized) force magnitude, assumed zero for
+    ``t <= 0``; ``direction`` the unit force direction.
+    """
+    x = np.asarray(x, dtype=float)
+    t = np.asarray(t, dtype=float)
+    e = np.asarray(direction, dtype=float)
+    e = e / np.linalg.norm(e)
+    r = float(np.linalg.norm(x))
+    if r == 0:
+        raise ValueError("receiver at the source point")
+    g = x / r
+    gg_e = g * (g @ e)  # (g_i g_j) F_j direction factors
+    near_dir = 3.0 * gg_e - e
+    p_dir = gg_e
+    s_dir = -(gg_e - e)
+
+    # near-field integral int_{r/vp}^{r/vs} tau F(t - tau) dtau
+    taus = np.linspace(r / vp, r / vs, nquad)
+    Ft = force(t[:, None] - taus[None, :])
+    near = np.trapezoid(taus[None, :] * Ft, taus, axis=1)
+
+    out = (
+        near_dir[None, :] * (near / r**3)[:, None]
+        + p_dir[None, :] * (force(t - r / vp) / (vp**2 * r))[:, None]
+        + s_dir[None, :] * (force(t - r / vs) / (vs**2 * r))[:, None]
+    )
+    return out / (4.0 * np.pi * rho)

@@ -1,0 +1,41 @@
+"""1D SH response of a layer over a halfspace (Haskell matrix).
+
+For a vertically incident SH wave of unit displacement amplitude in the
+halfspace, the free-surface displacement amplitude of a single soft
+layer (thickness ``H``, velocity ``vs1``, density ``rho1``) over a
+halfspace (``vs2``, ``rho2``) is
+
+    ``A(f) = 2 / | cos(k1 H) + i (Z1/Z2) sin(k1 H) |``
+
+with ``k1 = 2 pi f / vs1`` and impedances ``Z = rho vs`` — the standard
+site-amplification result; resonances sit at ``f = (2n+1) vs1 / (4H)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sh_reflection_transmission(
+    rho1: float, vs1: float, rho2: float, vs2: float
+) -> tuple[float, float]:
+    """Displacement reflection/transmission coefficients for an SH wave
+    in medium 1 hitting a plane interface with medium 2 at normal
+    incidence: ``R = (Z1 - Z2)/(Z1 + Z2)``, ``T = 2 Z1/(Z1 + Z2)``."""
+    z1, z2 = rho1 * vs1, rho2 * vs2
+    return (z1 - z2) / (z1 + z2), 2.0 * z1 / (z1 + z2)
+
+
+def layer_halfspace_transfer(
+    f: np.ndarray, H: float, vs1: float, rho1: float, vs2: float, rho2: float
+) -> np.ndarray:
+    """Surface amplification relative to the incident-wave amplitude."""
+    f = np.asarray(f, dtype=float)
+    k1 = 2.0 * np.pi * f * H / vs1
+    imp = (rho1 * vs1) / (rho2 * vs2)
+    return 2.0 / np.abs(np.cos(k1) + 1j * imp * np.sin(k1))
+
+
+def fundamental_frequency(H: float, vs1: float) -> float:
+    """Quarter-wavelength resonance ``f0 = vs1 / (4H)``."""
+    return vs1 / (4.0 * H)

@@ -1,0 +1,186 @@
+"""Command-line interface.
+
+Three subcommands mirror the library's main workflows:
+
+* ``forward``  — basin earthquake simulation to a seismogram archive;
+* ``mesh``     — etree mesh-database generation (construct/balance/
+  transform) with the accounting Figure 2.1 reports;
+* ``estimate`` — mesh-size / work projection for a target frequency
+  (the paper's 8x-per-octave scaling law).
+
+Examples
+--------
+::
+
+    python -m repro.cli estimate --L 80000 --depth-frac 0.5 --fmax 1.0 \
+        --vs-min 100
+    python -m repro.cli forward --L 16000 --fmax 0.5 --t-end 10 \
+        --out /tmp/run.npz
+    python -m repro.cli mesh --L 80000 --fmax 0.1 --workdir /tmp/meshdb
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+
+def _add_material_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--L", type=float, required=True, help="box edge (m)")
+    p.add_argument(
+        "--depth-frac",
+        type=float,
+        default=0.5,
+        help="meshed depth as a fraction of L (power-of-two denominator)",
+    )
+    p.add_argument("--vs-min", type=float, default=400.0,
+                   help="minimum basin shear velocity (m/s)")
+    p.add_argument("--fmax", type=float, required=True,
+                   help="highest resolved frequency (Hz)")
+    p.add_argument("--ppw", type=float, default=10.0,
+                   help="grid points per wavelength")
+    p.add_argument("--h-min", type=float, default=0.0,
+                   help="element size floor (m) for scaled-down runs")
+
+
+def _material(args):
+    from repro.materials import SyntheticBasinModel
+
+    return SyntheticBasinModel(
+        L=args.L, depth=args.depth_frac * args.L, vs_min=args.vs_min
+    )
+
+
+def cmd_estimate(args) -> int:
+    from repro.mesh import estimate_mesh_size
+
+    est = estimate_mesh_size(
+        _material(args),
+        L=args.L,
+        fmax=args.fmax,
+        box_frac=(1, 1, args.depth_frac),
+        points_per_wavelength=args.ppw,
+        h_min=args.h_min,
+    )
+    print(json.dumps({k: float(v) for k, v in est.items()}, indent=2))
+    return 0
+
+
+def cmd_mesh(args) -> int:
+    from repro.etree import generate_mesh_database
+
+    result = generate_mesh_database(
+        args.workdir,
+        _material(args),
+        L=args.L,
+        fmax=args.fmax,
+        points_per_wavelength=args.ppw,
+        max_level=args.max_level,
+        box_frac=(1, 1, args.depth_frac),
+        h_min=args.h_min,
+        blocks_per_axis=args.blocks,
+    )
+    print(f"elements     : {result.n_elements:,}")
+    print(f"grid points  : {result.n_nodes:,}")
+    print(f"hanging      : {result.n_hanging:,}")
+    print(
+        f"times (s)    : construct {result.construct_seconds:.2f} | "
+        f"balance {result.balance_seconds:.2f} | "
+        f"transform {result.transform_seconds:.2f}"
+    )
+    print(f"element db   : {result.element_path}")
+    print(f"node db      : {result.node_path}")
+    return 0
+
+
+def cmd_forward(args) -> int:
+    from repro.core import ForwardSimulation
+    from repro.sources import idealized_northridge, idealized_strike_slip
+
+    sim = ForwardSimulation(
+        _material(args),
+        L=args.L,
+        fmax=args.fmax,
+        box_frac=(1, 1, args.depth_frac),
+        points_per_wavelength=args.ppw,
+        max_level=args.max_level,
+        h_min=args.h_min,
+        damping_ratio=args.damping,
+    )
+    summary = sim.mesh_summary()
+    print(f"mesh: {summary['elements']:,} elements, "
+          f"{summary['grid_points']:,} points, dt = {summary['dt_s']:.4f} s")
+    scenario = (
+        idealized_northridge(L=args.L)
+        if args.scenario == "northridge"
+        else idealized_strike_slip(L=args.L)
+    )
+    if args.receivers:
+        rec = np.array(json.loads(args.receivers), dtype=float)
+    else:
+        xs = np.linspace(0.2, 0.8, 5) * args.L
+        rec = np.stack([xs, np.full_like(xs, 0.5 * args.L),
+                        np.zeros_like(xs)], axis=1)
+    result = sim.run(scenario, t_end=args.t_end, receivers=rec)
+    seis = result.seismograms
+    pgv = np.abs(seis.data).max(axis=(1, 2))
+    for i, v in enumerate(pgv):
+        print(f"  receiver {i}: PGV {v:.4f} m/s")
+    if args.out:
+        np.savez_compressed(
+            args.out,
+            data=seis.data,
+            dt=seis.dt,
+            kind=seis.kind,
+            positions=seis.positions,
+        )
+        print(f"seismograms written to {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Forward/inverse earthquake modeling (SC2003 reproduction)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    pe = sub.add_parser("estimate", help="mesh-size/work projection")
+    _add_material_args(pe)
+    pe.set_defaults(func=cmd_estimate)
+
+    pm = sub.add_parser("mesh", help="generate the etree mesh database")
+    _add_material_args(pm)
+    pm.add_argument("--workdir", required=True)
+    pm.add_argument("--max-level", type=int, default=7)
+    pm.add_argument("--blocks", type=int, default=4)
+    pm.set_defaults(func=cmd_mesh)
+
+    pf = sub.add_parser("forward", help="run a forward simulation")
+    _add_material_args(pf)
+    pf.add_argument("--max-level", type=int, default=6)
+    pf.add_argument("--t-end", type=float, required=True)
+    pf.add_argument(
+        "--scenario", choices=("northridge", "strike-slip"),
+        default="strike-slip",
+    )
+    pf.add_argument("--damping", type=float, default=0.0)
+    pf.add_argument(
+        "--receivers",
+        help='JSON list of [x, y, z] positions (m), e.g. "[[100,100,0]]"',
+    )
+    pf.add_argument("--out", help="write seismograms to this .npz file")
+    pf.set_defaults(func=cmd_forward)
+    return p
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""High-level public API.
+
+* :class:`ForwardSimulation` — octree-meshed elastic earthquake
+  simulation of a basin: one call from material model + source scenario
+  to seismograms and snapshots (paper Section 2).
+* :class:`MaterialInversion` — 2D antiplane (or 3D scalar) shear-modulus
+  inversion with multiscale continuation (paper Section 3.2, Fig 3.2).
+* :class:`SourceInversion` — fault source-parameter inversion
+  (paper Fig 3.3).
+"""
+
+from repro.core.simulation import ForwardSimulation, ForwardResult
+from repro.core.inversion import (
+    AntiplaneSetup,
+    MaterialInversion,
+    SourceInversion,
+)
+
+__all__ = [
+    "ForwardSimulation",
+    "ForwardResult",
+    "AntiplaneSetup",
+    "MaterialInversion",
+    "SourceInversion",
+]

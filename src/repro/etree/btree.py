@@ -1,0 +1,503 @@
+"""On-disk B-tree with fixed-size pages and an LRU page cache.
+
+This is the storage engine underneath the etree method (paper Section
+2.3): octant keys (Morton code + level, packed ``uint64``) index
+fixed-size records.  The tree supports single-pass top-down insertion
+(children are split preemptively), point lookup, deletion, in-order
+range scans via leaf chaining, and sorted **bulk loading** — the fast
+path used when octants are emitted in Z-order during construction.
+
+The page cache bounds memory: only ``cache_pages`` pages are resident,
+and the ``reads``/``writes`` counters expose the disk traffic, which the
+Figure 2.1 benchmark reports.  Meshes are therefore limited by available
+disk space, not memory, exactly as the paper claims.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+_MAGIC = b"ETREEBT1"
+_HEADER = struct.Struct("<8sIIIQQQI")  # magic, ver, page, rec, root, npages, nitems, height
+_PAGE_HDR = struct.Struct("<BHQ")  # kind, count, next_leaf
+_LEAF, _INTERNAL = 0, 1
+_NO_PAGE = 0xFFFFFFFFFFFFFFFF
+
+
+@dataclass
+class _Page:
+    page_id: int
+    kind: int
+    keys: np.ndarray  # uint64, logical length = count
+    count: int
+    next_leaf: int = _NO_PAGE
+    records: np.ndarray | None = None  # (capacity, record_size) uint8, leaves
+    children: np.ndarray | None = None  # uint64, capacity+1, internals
+    dirty: bool = False
+
+
+class BTree:
+    """A B-tree mapping ``uint64`` keys to fixed-size byte records.
+
+    Parameters
+    ----------
+    path:
+        Backing file.  Opened read-write; created when ``record_size``
+        is given, otherwise the existing header is read.
+    record_size:
+        Bytes per record (creation only).
+    page_size:
+        Bytes per on-disk page (creation only; default 4096).
+    cache_pages:
+        Number of pages kept resident in the LRU cache.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        record_size: int | None = None,
+        *,
+        page_size: int = 4096,
+        cache_pages: int = 256,
+    ):
+        self.path = path
+        create = not os.path.exists(path) or os.path.getsize(path) == 0
+        if create and record_size is None:
+            raise ValueError("record_size is required when creating a BTree")
+        self._file = open(path, "w+b" if create else "r+b")
+        self._cache: OrderedDict[int, _Page] = OrderedDict()
+        self._cache_pages = max(cache_pages, 4)
+        self.reads = 0
+        self.writes = 0
+        if create:
+            self.page_size = page_size
+            self.record_size = record_size
+            self._npages = 1  # header occupies page 0
+            self._nitems = 0
+            self.height = 1
+            self._compute_capacities()
+            root = self._alloc_page(_LEAF)
+            self._root = root.page_id
+            self._write_header()
+        else:
+            self._file.seek(0)
+            raw = self._file.read(_HEADER.size)
+            magic, _ver, psize, rsize, root, npages, nitems, height = _HEADER.unpack(
+                raw
+            )
+            if magic != _MAGIC:
+                raise ValueError(f"{path} is not an etree B-tree file")
+            self.page_size = psize
+            self.record_size = rsize
+            self._root = root
+            self._npages = npages
+            self._nitems = nitems
+            self.height = height
+            self._compute_capacities()
+
+    def _compute_capacities(self) -> None:
+        """Leaf and internal fan-out derived from the page layout."""
+        self.leaf_capacity = (self.page_size - _PAGE_HDR.size) // (
+            8 + self.record_size
+        )
+        self.internal_capacity = (self.page_size - _PAGE_HDR.size - 8) // 16
+        if self.leaf_capacity < 2 or self.internal_capacity < 3:
+            raise ValueError("page_size too small for record_size")
+
+    # ------------------------------------------------------------------ io
+
+    def _write_header(self) -> None:
+        raw = _HEADER.pack(
+            _MAGIC,
+            1,
+            self.page_size,
+            self.record_size,
+            self._root,
+            self._npages,
+            self._nitems,
+            self.height,
+        )
+        self._file.seek(0)
+        self._file.write(raw.ljust(self.page_size, b"\0"))
+
+    def _alloc_page(self, kind: int) -> _Page:
+        pid = self._npages
+        self._npages += 1
+        if kind == _LEAF:
+            page = _Page(
+                pid,
+                kind,
+                np.zeros(self.leaf_capacity, dtype=np.uint64),
+                0,
+                records=np.zeros(
+                    (self.leaf_capacity, self.record_size), dtype=np.uint8
+                ),
+                dirty=True,
+            )
+        else:
+            page = _Page(
+                pid,
+                kind,
+                np.zeros(self.internal_capacity, dtype=np.uint64),
+                0,
+                children=np.zeros(self.internal_capacity + 1, dtype=np.uint64),
+                dirty=True,
+            )
+        self._cache_put(page)
+        return page
+
+    def _serialize(self, page: _Page) -> bytes:
+        buf = bytearray(self.page_size)
+        _PAGE_HDR.pack_into(buf, 0, page.kind, page.count, page.next_leaf)
+        off = _PAGE_HDR.size
+        if page.kind == _LEAF:
+            kb = page.keys.tobytes()
+            buf[off : off + len(kb)] = kb
+            off += len(kb)
+            rb = page.records.tobytes()
+            buf[off : off + len(rb)] = rb
+        else:
+            kb = page.keys.tobytes()
+            buf[off : off + len(kb)] = kb
+            off += len(kb)
+            cb = page.children.tobytes()
+            buf[off : off + len(cb)] = cb
+        return bytes(buf)
+
+    def _deserialize(self, pid: int, raw: bytes) -> _Page:
+        kind, count, next_leaf = _PAGE_HDR.unpack_from(raw, 0)
+        off = _PAGE_HDR.size
+        if kind == _LEAF:
+            keys = np.frombuffer(
+                raw, dtype=np.uint64, count=self.leaf_capacity, offset=off
+            ).copy()
+            off += self.leaf_capacity * 8
+            records = (
+                np.frombuffer(
+                    raw,
+                    dtype=np.uint8,
+                    count=self.leaf_capacity * self.record_size,
+                    offset=off,
+                )
+                .copy()
+                .reshape(self.leaf_capacity, self.record_size)
+            )
+            return _Page(pid, kind, keys, count, next_leaf, records=records)
+        keys = np.frombuffer(
+            raw, dtype=np.uint64, count=self.internal_capacity, offset=off
+        ).copy()
+        off += self.internal_capacity * 8
+        children = np.frombuffer(
+            raw, dtype=np.uint64, count=self.internal_capacity + 1, offset=off
+        ).copy()
+        return _Page(pid, kind, keys, count, next_leaf, children=children)
+
+    def _flush_page(self, page: _Page) -> None:
+        if not page.dirty:
+            return
+        self._file.seek(page.page_id * self.page_size)
+        self._file.write(self._serialize(page))
+        self.writes += 1
+        page.dirty = False
+
+    def _cache_put(self, page: _Page) -> None:
+        self._cache[page.page_id] = page
+        self._cache.move_to_end(page.page_id)
+        while len(self._cache) > self._cache_pages:
+            _, evicted = self._cache.popitem(last=False)
+            self._flush_page(evicted)
+
+    def _get_page(self, pid: int) -> _Page:
+        page = self._cache.get(pid)
+        if page is not None:
+            self._cache.move_to_end(pid)
+            return page
+        self._file.seek(pid * self.page_size)
+        raw = self._file.read(self.page_size)
+        self.reads += 1
+        page = self._deserialize(pid, raw)
+        self._cache_put(page)
+        return page
+
+    def flush(self) -> None:
+        """Write every dirty cached page and the header to disk."""
+        for page in self._cache.values():
+            self._flush_page(page)
+        self._write_header()
+        self._file.flush()
+
+    def close(self) -> None:
+        self.flush()
+        self._file.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    def __len__(self) -> int:
+        return self._nitems
+
+    # --------------------------------------------------------------- search
+
+    def get(self, key: int) -> bytes | None:
+        """Return the record stored under ``key``, or None."""
+        key = int(key)
+        page = self._get_page(self._root)
+        while page.kind == _INTERNAL:
+            i = int(np.searchsorted(page.keys[: page.count], key, side="right"))
+            page = self._get_page(int(page.children[i]))
+        i = int(np.searchsorted(page.keys[: page.count], key))
+        if i < page.count and int(page.keys[i]) == key:
+            return page.records[i].tobytes()
+        return None
+
+    def __contains__(self, key: int) -> bool:
+        return self.get(key) is not None
+
+    def range_scan(self, lo: int = 0, hi: int = 2**64 - 1):
+        """Yield ``(key, record)`` for ``lo <= key < hi`` in key order."""
+        page = self._get_page(self._root)
+        while page.kind == _INTERNAL:
+            i = int(np.searchsorted(page.keys[: page.count], lo, side="right"))
+            page = self._get_page(int(page.children[i]))
+        while True:
+            keys = page.keys[: page.count]
+            start = int(np.searchsorted(keys, lo))
+            for i in range(start, page.count):
+                k = int(page.keys[i])
+                if k >= hi:
+                    return
+                yield k, page.records[i].tobytes()
+            if page.next_leaf == _NO_PAGE:
+                return
+            page = self._get_page(int(page.next_leaf))
+
+    def keys(self) -> np.ndarray:
+        """All keys in sorted order, as a uint64 array."""
+        out = np.empty(self._nitems, dtype=np.uint64)
+        n = 0
+        for k, _ in self.range_scan():
+            out[n] = k
+            n += 1
+        return out[:n]
+
+    # --------------------------------------------------------------- insert
+
+    def _split_child(self, parent: _Page, idx: int, child: _Page) -> None:
+        mid = child.count // 2
+        new = self._alloc_page(child.kind)
+        if child.kind == _LEAF:
+            move = child.count - mid
+            new.keys[:move] = child.keys[mid : child.count]
+            new.records[:move] = child.records[mid : child.count]
+            new.count = move
+            child.count = mid
+            new.next_leaf = child.next_leaf
+            child.next_leaf = new.page_id
+            sep = int(new.keys[0])
+        else:
+            # key at mid moves up; children split around it
+            sep = int(child.keys[mid])
+            move = child.count - mid - 1
+            new.keys[:move] = child.keys[mid + 1 : child.count]
+            new.children[: move + 1] = child.children[mid + 1 : child.count + 1]
+            new.count = move
+            child.count = mid
+        parent.keys[idx + 1 : parent.count + 1] = parent.keys[idx : parent.count]
+        parent.children[idx + 2 : parent.count + 2] = parent.children[
+            idx + 1 : parent.count + 1
+        ]
+        parent.keys[idx] = sep
+        parent.children[idx + 1] = new.page_id
+        parent.count += 1
+        parent.dirty = child.dirty = new.dirty = True
+        # re-pin: any of these may have been evicted (and flushed) by the
+        # allocation above; putting them back after mutation keeps the
+        # cache copy authoritative
+        self._cache_put(child)
+        self._cache_put(new)
+        self._cache_put(parent)
+
+    def _is_full(self, page: _Page) -> bool:
+        cap = self.leaf_capacity if page.kind == _LEAF else self.internal_capacity
+        return page.count >= cap
+
+    def insert(self, key: int, record: bytes, *, replace: bool = True) -> None:
+        """Insert ``record`` under ``key`` (replacing any existing value)."""
+        key = int(key)
+        record = bytes(record)
+        if len(record) != self.record_size:
+            raise ValueError(
+                f"record is {len(record)} bytes, expected {self.record_size}"
+            )
+        root = self._get_page(self._root)
+        if self._is_full(root):
+            new_root = self._alloc_page(_INTERNAL)
+            new_root.children[0] = root.page_id
+            self._root = new_root.page_id
+            self.height += 1
+            self._split_child(new_root, 0, root)
+            root = new_root
+        page = root
+        while page.kind == _INTERNAL:
+            i = int(np.searchsorted(page.keys[: page.count], key, side="right"))
+            child = self._get_page(int(page.children[i]))
+            if self._is_full(child):
+                self._split_child(page, i, child)
+                if key >= int(page.keys[i]):
+                    child = self._get_page(int(page.children[i + 1]))
+            page = child
+        i = int(np.searchsorted(page.keys[: page.count], key))
+        if i < page.count and int(page.keys[i]) == key:
+            if not replace:
+                raise KeyError(f"duplicate key {key}")
+            page.records[i] = np.frombuffer(record, dtype=np.uint8)
+            page.dirty = True
+            self._cache_put(page)
+            return
+        page.keys[i + 1 : page.count + 1] = page.keys[i : page.count]
+        page.records[i + 1 : page.count + 1] = page.records[i : page.count]
+        page.keys[i] = key
+        page.records[i] = np.frombuffer(record, dtype=np.uint8)
+        page.count += 1
+        page.dirty = True
+        self._cache_put(page)
+        self._nitems += 1
+
+    def delete(self, key: int) -> bool:
+        """Remove ``key``; returns whether it was present.
+
+        Underfull pages are tolerated (no rebalancing) — deletions in
+        the etree workload only occur transiently during construction.
+        """
+        key = int(key)
+        page = self._get_page(self._root)
+        while page.kind == _INTERNAL:
+            i = int(np.searchsorted(page.keys[: page.count], key, side="right"))
+            page = self._get_page(int(page.children[i]))
+        i = int(np.searchsorted(page.keys[: page.count], key))
+        if i >= page.count or int(page.keys[i]) != key:
+            return False
+        page.keys[i : page.count - 1] = page.keys[i + 1 : page.count]
+        page.records[i : page.count - 1] = page.records[i + 1 : page.count]
+        page.count -= 1
+        page.dirty = True
+        self._cache_put(page)
+        self._nitems -= 1
+        return True
+
+    # ------------------------------------------------------------ bulk load
+
+    def bulk_loader(self) -> "_BulkLoader":
+        """Return a bulk loader for an empty tree.
+
+        The loader's :meth:`_BulkLoader.append` may be called repeatedly
+        with sorted chunks (strictly increasing across calls), so octants
+        emitted subtree-by-subtree in Z-order stream straight to disk;
+        only one leaf page and the (small) per-level separator lists stay
+        in memory.  Call :meth:`_BulkLoader.close` (or use as a context
+        manager) to build the internal levels.
+        """
+        if self._nitems:
+            raise ValueError("bulk loading requires an empty tree")
+        return _BulkLoader(self)
+
+    def bulk_load(self, keys: np.ndarray, records: np.ndarray) -> None:
+        """Load sorted ``(keys, records)`` into an empty tree in one shot."""
+        with self.bulk_loader() as loader:
+            loader.append(keys, records)
+
+
+class _BulkLoader:
+    """Streaming sorted loader; see :meth:`BTree.bulk_loader`."""
+
+    def __init__(self, tree: BTree):
+        self.tree = tree
+        self.fill = max(2, int(tree.leaf_capacity * 0.9))
+        self.leaf_ids: list[int] = []
+        self.first_keys: list[int] = []
+        self.prev: _Page | None = None
+        self.last_key = -1
+        self.count = 0
+        self.closed = False
+
+    def append(self, keys: np.ndarray, records: np.ndarray) -> None:
+        if self.closed:
+            raise ValueError("loader already closed")
+        tree = self.tree
+        keys = np.asarray(keys, dtype=np.uint64)
+        records = np.ascontiguousarray(records, dtype=np.uint8).reshape(
+            len(keys), tree.record_size
+        )
+        if len(keys) == 0:
+            return
+        diffs_ok = bool(np.all(keys[1:] > keys[:-1]))
+        if not diffs_ok or int(keys[0]) <= self.last_key:
+            raise ValueError("bulk-load keys must be strictly increasing")
+        self.last_key = int(keys[-1])
+        start = 0
+        while start < len(keys):
+            # top up the previous partially-filled leaf first
+            if self.prev is not None and self.prev.count < self.fill:
+                leaf = self.prev
+            else:
+                leaf = tree._alloc_page(_LEAF)
+                if self.prev is not None:
+                    self.prev.next_leaf = leaf.page_id
+                    self.prev.dirty = True
+                    tree._cache_put(self.prev)
+                self.prev = leaf
+                self.leaf_ids.append(leaf.page_id)
+                self.first_keys.append(int(keys[start]))
+            room = self.fill - leaf.count
+            n = min(room, len(keys) - start)
+            leaf.keys[leaf.count : leaf.count + n] = keys[start : start + n]
+            leaf.records[leaf.count : leaf.count + n] = records[start : start + n]
+            leaf.count += n
+            leaf.dirty = True
+            tree._cache_put(leaf)
+            start += n
+        self.count += len(keys)
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        tree = self.tree
+        if not self.leaf_ids:
+            return
+        level_ids, level_keys = self.leaf_ids, self.first_keys
+        height = 1
+        ifill = max(3, int(tree.internal_capacity * 0.9))
+        while len(level_ids) > 1:
+            next_ids, next_keys = [], []
+            for start in range(0, len(level_ids), ifill):
+                ids = level_ids[start : start + ifill]
+                ks = level_keys[start : start + ifill]
+                node = tree._alloc_page(_INTERNAL)
+                node.count = len(ids) - 1
+                node.children[: len(ids)] = ids
+                node.keys[: node.count] = ks[1:]
+                node.dirty = True
+                tree._cache_put(node)
+                next_ids.append(node.page_id)
+                next_keys.append(ks[0])
+            level_ids, level_keys = next_ids, next_keys
+            height += 1
+        tree._root = level_ids[0]
+        tree.height = height
+        tree._nitems = self.count
+        tree._write_header()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()

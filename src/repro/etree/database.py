@@ -1,0 +1,159 @@
+"""Typed octant databases on top of the B-tree.
+
+An :class:`EtreeDatabase` maps packed octant keys (Morton code + level)
+to records of a fixed numpy structured dtype.  This is the "etree"
+abstraction an application links against: it manipulates an octree mesh
+stored on disk while the library performs the indexing and caching.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.etree.btree import BTree
+
+#: Default payload for material octants produced by the construct step:
+#: seismic velocities and density queried from the material model.
+OctantRecord = np.dtype(
+    [("vs", "<f4"), ("vp", "<f4"), ("rho", "<f4"), ("flags", "<u4")]
+)
+
+
+class EtreeDatabase:
+    """A B-tree of octants with structured-dtype records.
+
+    Parameters
+    ----------
+    path:
+        Backing file for the B-tree.
+    dtype:
+        Numpy structured dtype of the records.  Required when creating;
+        when opening an existing database the dtype must match the
+        stored record size.
+    cache_pages, page_size:
+        Passed through to :class:`repro.etree.btree.BTree`.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        dtype: np.dtype = OctantRecord,
+        *,
+        page_size: int = 4096,
+        cache_pages: int = 256,
+    ):
+        self.dtype = np.dtype(dtype)
+        self.btree = BTree(
+            path,
+            record_size=self.dtype.itemsize,
+            page_size=page_size,
+            cache_pages=cache_pages,
+        )
+        if self.btree.record_size != self.dtype.itemsize:
+            raise ValueError(
+                f"database at {path} stores {self.btree.record_size}-byte "
+                f"records, dtype needs {self.dtype.itemsize}"
+            )
+        self.path = path
+
+    # ------------------------------------------------------------ basic ops
+
+    def __len__(self) -> int:
+        return len(self.btree)
+
+    def __contains__(self, key: int) -> bool:
+        return int(key) in self.btree
+
+    def insert(self, key: int, record) -> None:
+        """Insert one record (anything convertible to the dtype)."""
+        rec = np.asarray(record, dtype=self.dtype).reshape(())
+        self.btree.insert(int(key), rec.tobytes())
+
+    def get(self, key: int):
+        """Return the record under ``key`` as a structured scalar, or None."""
+        raw = self.btree.get(int(key))
+        if raw is None:
+            return None
+        return np.frombuffer(raw, dtype=self.dtype)[0]
+
+    def delete(self, key: int) -> bool:
+        return self.btree.delete(int(key))
+
+    def append_sorted(self, keys: np.ndarray, records: np.ndarray) -> None:
+        """Bulk-load sorted octants into an empty database."""
+        records = np.ascontiguousarray(records, dtype=self.dtype)
+        self.btree.bulk_load(
+            keys, records.view(np.uint8).reshape(len(records), self.dtype.itemsize)
+        )
+
+    def bulk_loader(self):
+        """Streaming sorted loader; chunks must be globally sorted."""
+        db = self
+
+        class _TypedLoader:
+            def __init__(self):
+                self.loader = db.btree.bulk_loader()
+
+            def append(self, keys, records):
+                records = np.ascontiguousarray(records, dtype=db.dtype)
+                self.loader.append(
+                    keys,
+                    records.view(np.uint8).reshape(
+                        len(records), db.dtype.itemsize
+                    ),
+                )
+
+            def close(self):
+                self.loader.close()
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                self.close()
+
+        return _TypedLoader()
+
+    # --------------------------------------------------------------- scans
+
+    def scan(self, lo: int = 0, hi: int = 2**64 - 1):
+        """Yield ``(key, record)`` in Z-order for ``lo <= key < hi``."""
+        for k, raw in self.btree.range_scan(lo, hi):
+            yield k, np.frombuffer(raw, dtype=self.dtype)[0]
+
+    def scan_arrays(
+        self, lo: int = 0, hi: int = 2**64 - 1
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Range scan materialized as ``(keys, records)`` arrays."""
+        keys, recs = [], []
+        for k, raw in self.btree.range_scan(lo, hi):
+            keys.append(k)
+            recs.append(raw)
+        if not keys:
+            return np.array([], dtype=np.uint64), np.array([], dtype=self.dtype)
+        return (
+            np.array(keys, dtype=np.uint64),
+            np.frombuffer(b"".join(recs), dtype=self.dtype),
+        )
+
+    def keys(self) -> np.ndarray:
+        return self.btree.keys()
+
+    # ------------------------------------------------------------- plumbing
+
+    @property
+    def io_stats(self) -> dict:
+        """Disk traffic counters: pages read/written since open."""
+        return {"page_reads": self.btree.reads, "page_writes": self.btree.writes}
+
+    def flush(self) -> None:
+        self.btree.flush()
+
+    def close(self) -> None:
+        self.btree.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()

@@ -1,0 +1,137 @@
+"""Auto-navigation octree construction (paper Section 2.3).
+
+"The idea of auto-navigation is based on a simple insight: since the
+ordering of expanding an octree under construction is independent of the
+correctness of the result, the octree traversal logic can be decoupled
+from the application's logic and incorporated into the etree library."
+
+:func:`construct_octree` owns the traversal: the application supplies a
+vectorized *decide* callback (refine or keep) and a *payload* callback
+(record for a leaf), and never tracks which octants were decomposed.
+The traversal visits the subtrees rooted at a configurable chunk level
+in Morton order, expands each subtree breadth-first in memory, and
+streams its leaves — already sorted — to the database's bulk loader, so
+the resident set is one subtree plus one leaf page.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.etree.database import EtreeDatabase
+from repro.octree.linear_octree import _binary_fraction_ticks
+from repro.octree.morton import MAX_COORD, MAX_LEVEL
+from repro.octree.octant import (
+    octant_anchor,
+    octant_children,
+    octant_size,
+    pack_key,
+)
+from repro.octree.morton import morton_encode
+
+
+def _expand_subtree(
+    roots: np.ndarray,
+    decide: Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray],
+    max_level: int,
+    box_ticks: np.ndarray,
+) -> np.ndarray:
+    """Breadth-first expansion of ``roots`` into leaves (sorted keys)."""
+    leaves: list[np.ndarray] = []
+    frontier = roots
+    while len(frontier):
+        x, y, z, lvl = octant_anchor(frontier)
+        size = octant_size(lvl)
+        anchors = np.stack([x, y, z], axis=1)
+        outside = np.any(anchors >= box_ticks, axis=1)
+        frontier = frontier[~outside]
+        if not len(frontier):
+            break
+        anchors = anchors[~outside]
+        size = size[~outside]
+        lvl = lvl[~outside]
+        crosses = np.any(anchors + size[:, None] > box_ticks, axis=1)
+        centers = (anchors + 0.5 * size[:, None]) / MAX_COORD
+        want = np.asarray(
+            decide(centers, size / MAX_COORD, lvl), dtype=bool
+        )
+        refine = (crosses | want) & (lvl < max_level)
+        if np.any(crosses & (lvl >= max_level)):
+            raise ValueError("max_level too small to align with box_frac")
+        leaves.append(frontier[~refine])
+        frontier = (
+            octant_children(frontier[refine]).ravel()
+            if np.any(refine)
+            else np.array([], dtype=np.uint64)
+        )
+    if not leaves:
+        return np.array([], dtype=np.uint64)
+    return np.sort(np.concatenate(leaves))
+
+
+def construct_octree(
+    db: EtreeDatabase,
+    decide: Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray],
+    payload: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    *,
+    max_level: int,
+    box_frac: Sequence[float] = (1.0, 1.0, 1.0),
+    chunk_level: int = 2,
+) -> int:
+    """Construct an octree straight into ``db`` (which must be empty).
+
+    Parameters
+    ----------
+    decide:
+        ``decide(centers, sizes, levels) -> bool mask`` — True where an
+        octant must be refined.  Centers/sizes are in root-cube units.
+    payload:
+        ``payload(centers, sizes) -> structured array`` with ``db.dtype``
+        — the record stored for each leaf.
+    max_level:
+        Refinement cap.
+    box_frac:
+        Meshed box as fractions of the root cube (power-of-two
+        denominators).
+    chunk_level:
+        The traversal streams one level-``chunk_level`` subtree at a
+        time, bounding memory to ``8**-chunk_level`` of the tree.
+
+    Returns
+    -------
+    int
+        Number of leaf octants written.
+    """
+    box_ticks = np.array([_binary_fraction_ticks(f) for f in box_frac])
+    # chunk roots in Morton order; expand the tree down to chunk_level
+    # first (respecting the box), then stream each chunk subtree
+    top = np.array([pack_key(np.uint64(0), np.uint64(0))], dtype=np.uint64)
+    for _ in range(chunk_level):
+        x, y, z, lvl = octant_anchor(top)
+        anchors = np.stack([x, y, z], axis=1)
+        inside = np.all(anchors < box_ticks, axis=1)
+        top = octant_children(top[inside]).ravel()
+    top = np.sort(top)
+
+    total = 0
+    with db.bulk_loader() as loader:
+        for root in top:
+            keys = _expand_subtree(
+                np.array([root], dtype=np.uint64), decide, max_level, box_ticks
+            )
+            if not len(keys):
+                continue
+            x, y, z, lvl = octant_anchor(keys)
+            size = octant_size(lvl)
+            centers = (
+                np.stack([x, y, z], axis=1) + 0.5 * size[:, None]
+            ) / MAX_COORD
+            recs = np.asarray(
+                payload(centers, size / MAX_COORD), dtype=db.dtype
+            )
+            loader.append(keys, recs)
+            total += len(keys)
+    db.flush()
+    return total

@@ -1,0 +1,455 @@
+"""The etree mesh-generation pipeline: construct -> balance -> transform
+(paper Figure 2.1).
+
+* **construct** builds an unbalanced octree on disk, refining until each
+  octant resolves the local seismic wavelength
+  (``h = vs / (N_lambda * f_max)``), and stores the material properties
+  queried at each octant center.
+* **balance** enforces the 2-to-1 constraint with the paper's *local
+  balancing*: octants are processed block by block (each block is a
+  Morton-contiguous range scan), balanced internally, then a boundary
+  phase resolves interactions between adjacent blocks.  New octants
+  created by splitting inherit their ancestor's material record.
+* **transform** derives mesh-specific information — the element-node
+  relation and the node coordinates (with hanging-node constraints) —
+  into two databases, one for elements, one for nodes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.etree.database import EtreeDatabase, OctantRecord
+from repro.etree.navigation import construct_octree
+from repro.octree.balance import _balance_rounds
+from repro.octree.linear_octree import LinearOctree, _binary_fraction_ticks
+from repro.octree.morton import MAX_COORD, morton_encode
+from repro.octree.octant import (
+    octant_anchor,
+    octant_parent,
+    octant_size,
+    pack_key,
+    unpack_key,
+)
+
+#: element database record: global node ids, material, level
+ElementRecord = np.dtype(
+    [
+        ("nodes", "<u4", (8,)),
+        ("vs", "<f4"),
+        ("vp", "<f4"),
+        ("rho", "<f4"),
+        ("level", "<u4"),
+    ]
+)
+
+#: node database record: lattice coordinates, hanging flag, constraint
+NodeRecord = np.dtype(
+    [
+        ("x", "<u4"),
+        ("y", "<u4"),
+        ("z", "<u4"),
+        ("flags", "<u4"),
+        ("masters", "<u4", (8,)),
+        ("weights", "<f4", (8,)),
+    ]
+)
+
+HANGING_FLAG = 1
+
+
+def construct_step(
+    path: str,
+    material,
+    *,
+    L: float,
+    fmax: float,
+    points_per_wavelength: float = 10.0,
+    max_level: int,
+    box_frac: Sequence[float] = (1.0, 1.0, 1.0),
+    h_min: float = 0.0,
+    cache_pages: int = 256,
+    chunk_level: int = 2,
+) -> EtreeDatabase:
+    """Construct the (unbalanced) wavelength-adaptive octant database.
+
+    ``material`` must expose ``query(points_m) -> (vs, vp, rho)`` for
+    physical points in meters, vectorized.
+    """
+    db = EtreeDatabase(path, OctantRecord, cache_pages=cache_pages)
+    # sample the material at the center and the 8 corners of each octant
+    # and let the slowest (shortest-wavelength) sample govern refinement
+    corner_dirs = np.array(
+        [(0, 0, 0)]
+        + [((k & 1) * 2 - 1, ((k >> 1) & 1) * 2 - 1, ((k >> 2) & 1) * 2 - 1) for k in range(8)],
+        dtype=float,
+    )
+
+    def decide(centers, sizes, levels):
+        pts = (
+            centers[:, None, :]
+            + corner_dirs[None, :, :] * (0.5 * sizes[:, None, None])
+        ).reshape(-1, 3)
+        vs, _, _ = material.query(pts * L)
+        vs = np.asarray(vs, dtype=float).reshape(len(centers), len(corner_dirs))
+        vs_min = vs.min(axis=1)
+        target = np.maximum(vs_min / (points_per_wavelength * fmax), h_min) / L
+        return sizes > target + 1e-15
+
+    def payload(centers, sizes):
+        vs, vp, rho = material.query(centers * L)
+        rec = np.zeros(len(centers), dtype=OctantRecord)
+        rec["vs"], rec["vp"], rec["rho"] = vs, vp, rho
+        return rec
+
+    construct_octree(
+        db,
+        decide,
+        payload,
+        max_level=max_level,
+        box_frac=box_frac,
+        chunk_level=chunk_level,
+    )
+    return db
+
+
+def _inherit_records(db: EtreeDatabase, keys: np.ndarray) -> np.ndarray:
+    """Records for ``keys``: direct hit in ``db`` or nearest ancestor's."""
+    recs = np.zeros(len(keys), dtype=db.dtype)
+    for i, k in enumerate(keys):
+        k = np.uint64(k)
+        while True:
+            r = db.get(int(k))
+            if r is not None:
+                recs[i] = r
+                break
+            _, lvl = unpack_key(k)
+            if int(lvl) == 0:
+                raise KeyError(f"no ancestor record for key {int(keys[i])}")
+            k = octant_parent(k)
+    return recs
+
+
+def balance_step(
+    db: EtreeDatabase,
+    path_out: str,
+    *,
+    blocks_per_axis: int = 4,
+    cache_pages: int = 256,
+) -> EtreeDatabase:
+    """Enforce the 2-to-1 constraint out-of-core via local balancing."""
+    if MAX_COORD % blocks_per_axis:
+        raise ValueError("blocks_per_axis must divide the lattice")
+    bsize = MAX_COORD // blocks_per_axis
+    block_level = int(np.log2(blocks_per_axis))
+
+    balanced_keys: list[np.ndarray] = []
+    # phase 1: internal balancing, one Morton-contiguous block at a time
+    for bx in range(blocks_per_axis):
+        for by in range(blocks_per_axis):
+            for bz in range(blocks_per_axis):
+                anchor = np.array([bx, by, bz], dtype=np.int64) * bsize
+                m0 = morton_encode(anchor[0], anchor[1], anchor[2])
+                span = np.uint64(bsize) ** np.uint64(3)
+                lo = int(pack_key(m0, np.uint64(0)))
+                hi = int(pack_key(m0 + span, np.uint64(0)))
+                keys, _ = db.scan_arrays(lo, hi)
+                if not len(keys):
+                    continue
+                out = _balance_rounds(
+                    keys, keys, restrict_block=(anchor, bsize)
+                )
+                balanced_keys.append(np.sort(out))
+    if not balanced_keys:
+        raise ValueError("octant database is empty")
+    # blocks were visited in x-major order but Morton order is bit-
+    # interleaved; concatenate then sort (keys only — cheap)
+    keys = np.sort(np.concatenate(balanced_keys))
+
+    # phase 2: boundary balancing over leaves touching block faces
+    x, y, z, lvl = octant_anchor(keys)
+    sz = octant_size(lvl)
+    touches = (
+        (x % bsize == 0)
+        | (y % bsize == 0)
+        | (z % bsize == 0)
+        | ((x + sz) % bsize == 0)
+        | ((y + sz) % bsize == 0)
+        | ((z + sz) % bsize == 0)
+    )
+    keys = np.sort(_balance_rounds(keys, keys[touches]))
+
+    out_db = EtreeDatabase(path_out, db.dtype, cache_pages=cache_pages)
+    with out_db.bulk_loader() as loader:
+        chunk = 8192
+        for start in range(0, len(keys), chunk):
+            ks = keys[start : start + chunk]
+            loader.append(ks, _inherit_records(db, ks))
+    out_db.flush()
+    return out_db
+
+
+def transform_step(
+    db: EtreeDatabase,
+    elem_path: str,
+    node_path: str,
+    *,
+    L: float,
+    box_frac: Sequence[float] = (1.0, 1.0, 1.0),
+    cache_pages: int = 256,
+) -> tuple[EtreeDatabase, EtreeDatabase]:
+    """Derive the element and node databases from the balanced octants."""
+    from repro.mesh.hanging import build_constraints
+    from repro.mesh.hexmesh import extract_mesh
+
+    keys, recs = db.scan_arrays()
+    tree = LinearOctree(keys)
+    mesh = extract_mesh(tree, L=L, box_frac=box_frac)
+    info = build_constraints(tree, mesh)
+
+    # element database, keyed by the octant key
+    elem_db = EtreeDatabase(elem_path, ElementRecord, cache_pages=cache_pages)
+    erecs = np.zeros(mesh.nelem, dtype=ElementRecord)
+    erecs["nodes"] = mesh.conn.astype(np.uint32)
+    # scan order of the balanced db matches tree key order == mesh order
+    erecs["vs"], erecs["vp"], erecs["rho"] = recs["vs"], recs["vp"], recs["rho"]
+    erecs["level"] = mesh.elem_level.astype(np.uint32)
+    elem_db.append_sorted(tree.keys, erecs)
+
+    # node database, keyed by the Morton code of the node coordinates
+    node_db = EtreeDatabase(node_path, NodeRecord, cache_pages=cache_pages)
+    nrecs = np.zeros(mesh.nnode, dtype=NodeRecord)
+    nrecs["x"] = mesh.node_ticks[:, 0]
+    nrecs["y"] = mesh.node_ticks[:, 1]
+    nrecs["z"] = mesh.node_ticks[:, 2]
+    nrecs["flags"][info.hanging] = HANGING_FLAG
+    for i, stencil in info.masters.items():
+        if len(stencil) > 8:
+            raise ValueError(
+                f"hanging node {i} has {len(stencil)} masters; record holds 8"
+            )
+        for j, (node, w) in enumerate(stencil.items()):
+            nrecs["masters"][i, j] = node
+            nrecs["weights"][i, j] = w
+    node_codes = morton_encode(
+        mesh.node_ticks[:, 0], mesh.node_ticks[:, 1], mesh.node_ticks[:, 2]
+    )
+    order = np.argsort(node_codes)
+    node_db.append_sorted(node_codes[order], nrecs[order])
+    elem_db.flush()
+    node_db.flush()
+    return elem_db, node_db
+
+
+def load_mesh_from_databases(
+    elem_path: str,
+    node_path: str,
+    *,
+    L: float,
+    box_frac: Sequence[float] = (1.0, 1.0, 1.0),
+    cache_pages: int = 256,
+):
+    """Rebuild a solver-ready mesh from the element and node databases.
+
+    This is the paper's production workflow: "each basin is meshed just
+    once for a given resolution of interest — but subjected to many
+    earthquake scenarios", so simulations start from the databases, not
+    from re-meshing.  Returns ``(mesh, tree, constraints, materials)``
+    with ``materials = (vs, vp, rho)`` per element, ready for
+    :class:`repro.solver.ElasticWaveSolver`.
+    """
+    import scipy.sparse as sp
+
+    from repro.mesh.hanging import HangingNodeInfo
+    from repro.mesh.hexmesh import HexMesh
+    from repro.octree.linear_octree import LinearOctree
+
+    with EtreeDatabase(elem_path, ElementRecord, cache_pages=cache_pages) as edb:
+        keys, erecs = edb.scan_arrays()
+    with EtreeDatabase(node_path, NodeRecord, cache_pages=cache_pages) as ndb:
+        node_codes, nrecs = ndb.scan_arrays()
+
+    tree = LinearOctree(keys)
+    # node records are stored in Morton order of their coordinates; the
+    # element records reference node indices in extraction order, which
+    # is the same Morton order (transform_step sorts before writing)
+    order = np.argsort(node_codes)
+    if not np.array_equal(order, np.arange(len(order))):
+        raise ValueError("node database is not Morton-sorted")
+    node_ticks = np.stack(
+        [nrecs["x"], nrecs["y"], nrecs["z"]], axis=1
+    ).astype(np.int64)
+    conn = erecs["nodes"].astype(np.int64)
+    box_ticks = np.array([_binary_fraction_ticks(f) for f in box_frac])
+    mesh = HexMesh(
+        conn=conn,
+        node_ticks=node_ticks,
+        elem_anchor=tree.anchors.copy(),
+        elem_size=tree.sizes.copy(),
+        elem_level=tree.levels.copy(),
+        L=float(L),
+        box_ticks=box_ticks,
+    )
+    hanging = (nrecs["flags"] & HANGING_FLAG) > 0
+    masters: dict[int, dict[int, float]] = {}
+    for i in np.nonzero(hanging)[0]:
+        st = {}
+        for node, w in zip(nrecs["masters"][i], nrecs["weights"][i]):
+            if w != 0.0:
+                st[int(node)] = float(w)
+        masters[int(i)] = st
+    independent = np.nonzero(~hanging)[0]
+    col_of = np.full(mesh.nnode, -1, dtype=np.int64)
+    col_of[independent] = np.arange(len(independent))
+    rows = list(independent)
+    cols = list(col_of[independent])
+    vals = [1.0] * len(independent)
+    for i, st in masters.items():
+        for j, w in st.items():
+            rows.append(i)
+            cols.append(col_of[j])
+            vals.append(w)
+    B = sp.csr_matrix(
+        (vals, (rows, cols)), shape=(mesh.nnode, len(independent))
+    )
+    constraints = HangingNodeInfo(
+        hanging=hanging, independent=independent, B=B, masters=masters
+    )
+    materials = (
+        erecs["vs"].astype(float),
+        erecs["vp"].astype(float),
+        erecs["rho"].astype(float),
+    )
+    return mesh, tree, constraints, materials
+
+
+class DatabaseMaterial:
+    """Adapter: per-element properties from the database, served through
+    the ``query(points)`` protocol by octree point location."""
+
+    def __init__(self, tree, mesh, vs, vp, rho):
+        self.tree = tree
+        self.mesh = mesh
+        self.vs = np.asarray(vs, dtype=float)
+        self.vp = np.asarray(vp, dtype=float)
+        self.rho = np.asarray(rho, dtype=float)
+
+    def query(self, points: np.ndarray):
+        from repro.octree.morton import MAX_COORD
+
+        pts = np.atleast_2d(np.asarray(points, dtype=float))
+        tol = 1e-9 * self.mesh.L
+        if np.any(pts < -tol) or np.any(pts > self.mesh.L + tol):
+            raise ValueError("query point outside the meshed box")
+        ticks = np.clip(
+            (pts / self.mesh.L * MAX_COORD).astype(np.int64),
+            0,
+            MAX_COORD - 1,
+        )
+        idx = self.tree.locate(ticks)
+        if np.any(idx < 0):
+            raise ValueError("query point outside the meshed box")
+        return self.vs[idx], self.vp[idx], self.rho[idx]
+
+
+@dataclass
+class MeshDatabases:
+    """Outputs and accounting of a full etree pipeline run."""
+
+    octant_path: str
+    balanced_path: str
+    element_path: str
+    node_path: str
+    n_octants_unbalanced: int
+    n_elements: int
+    n_nodes: int
+    n_hanging: int
+    construct_seconds: float
+    balance_seconds: float
+    transform_seconds: float
+    io_stats: dict = field(default_factory=dict)
+
+
+def generate_mesh_database(
+    workdir: str,
+    material,
+    *,
+    L: float,
+    fmax: float,
+    points_per_wavelength: float = 10.0,
+    max_level: int,
+    box_frac: Sequence[float] = (1.0, 1.0, 1.0),
+    h_min: float = 0.0,
+    blocks_per_axis: int = 4,
+    cache_pages: int = 256,
+) -> MeshDatabases:
+    """Run construct -> balance -> transform and report the accounting
+    that Figure 2.1's benchmark prints."""
+    import os
+
+    os.makedirs(workdir, exist_ok=True)
+    p_oct = os.path.join(workdir, "octants.etree")
+    p_bal = os.path.join(workdir, "balanced.etree")
+    p_elem = os.path.join(workdir, "elements.etree")
+    p_node = os.path.join(workdir, "nodes.etree")
+    for p in (p_oct, p_bal, p_elem, p_node):
+        if os.path.exists(p):
+            os.remove(p)
+
+    t0 = time.perf_counter()
+    oct_db = construct_step(
+        p_oct,
+        material,
+        L=L,
+        fmax=fmax,
+        points_per_wavelength=points_per_wavelength,
+        max_level=max_level,
+        box_frac=box_frac,
+        h_min=h_min,
+        cache_pages=cache_pages,
+    )
+    t1 = time.perf_counter()
+    bal_db = balance_step(
+        oct_db, p_bal, blocks_per_axis=blocks_per_axis, cache_pages=cache_pages
+    )
+    t2 = time.perf_counter()
+    elem_db, node_db = transform_step(
+        bal_db, p_elem, p_node, L=L, box_frac=box_frac, cache_pages=cache_pages
+    )
+    t3 = time.perf_counter()
+
+    n_unbal = len(oct_db)
+    n_elem = len(elem_db)
+    n_node = len(node_db)
+    n_hanging = 0
+    for _, rec in node_db.scan():
+        if rec["flags"] & HANGING_FLAG:
+            n_hanging += 1
+    stats = {
+        "octants": oct_db.io_stats,
+        "balanced": bal_db.io_stats,
+        "elements": elem_db.io_stats,
+        "nodes": node_db.io_stats,
+    }
+    oct_db.close()
+    bal_db.close()
+    elem_db.close()
+    node_db.close()
+    return MeshDatabases(
+        octant_path=p_oct,
+        balanced_path=p_bal,
+        element_path=p_elem,
+        node_path=p_node,
+        n_octants_unbalanced=n_unbal,
+        n_elements=n_elem,
+        n_nodes=n_node,
+        n_hanging=n_hanging,
+        construct_seconds=t1 - t0,
+        balance_seconds=t2 - t1,
+        transform_seconds=t3 - t2,
+        io_stats=stats,
+    )

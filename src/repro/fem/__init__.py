@@ -1,0 +1,44 @@
+"""Finite elements (paper Sections 2.1-2.2).
+
+The key design point reproduced here: on an octree mesh **all element
+stiffness matrices are identical modulo element size and material
+properties**, so no global matrix is stored.  The reference 24x24
+elastic matrices ``K = h (lambda K_l + mu K_m)`` are precomputed once;
+the solver's matrix-vector product gathers element nodal values, applies
+dense reference matrices to all elements at once, and scatters back —
+"relegating the work that requires indirect addressing to vector
+operations and recasting the majority of the work as local element-wise
+dense matrix computations".
+
+Also here: lumped mass, the linear tetrahedral baseline elements, the
+dimension-generic scalar (bilinear quad / trilinear hex) elements used
+by the inversion, and the least-squares Rayleigh damping fit.
+"""
+
+from repro.fem.shape import gauss_points_weights, shape_functions, shape_gradients
+from repro.fem.hex_element import (
+    hex_elastic_reference,
+    hex_lumped_mass_factor,
+)
+from repro.fem.scalar_element import (
+    scalar_mass_reference,
+    scalar_stiffness_reference,
+)
+from repro.fem.tet_element import tet_elastic_stiffness, tet_lumped_mass
+from repro.fem.damping import rayleigh_coefficients
+from repro.fem.assembly import ElasticOperator, assemble_csr
+
+__all__ = [
+    "gauss_points_weights",
+    "shape_functions",
+    "shape_gradients",
+    "hex_elastic_reference",
+    "hex_lumped_mass_factor",
+    "scalar_stiffness_reference",
+    "scalar_mass_reference",
+    "tet_elastic_stiffness",
+    "tet_lumped_mass",
+    "rayleigh_coefficients",
+    "ElasticOperator",
+    "assemble_csr",
+]

@@ -1,0 +1,62 @@
+"""Rayleigh damping coefficients (paper Section 2.2).
+
+Material attenuation is modeled by elementwise Rayleigh damping
+``alpha M + beta K``, whose modal damping ratio is
+
+    ``xi(omega) = alpha / (2 omega) + beta omega / 2``.
+
+Since this grows both inversely and linearly with frequency, the paper
+chooses ``(alpha, beta)`` per element as the least-squares fit to a
+constant target ratio dictated by the local soil type, over the band of
+resolved frequencies.  We solve the 2x2 normal equations of
+
+    ``min int_{w1}^{w2} (alpha/(2w) + beta w/2 - xi)^2 dw``
+
+in closed form.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rayleigh_coefficients(
+    xi_target: np.ndarray, f_min: float, f_max: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Least-squares ``(alpha, beta)`` for target damping ratios.
+
+    Parameters
+    ----------
+    xi_target:
+        Target damping ratio(s), scalar or per-element array (e.g.
+        larger for soft soils).
+    f_min, f_max:
+        Frequency band (Hz) over which the fit is performed; must
+        satisfy ``0 < f_min < f_max``.
+
+    Returns
+    -------
+    (alpha, beta) broadcasting like ``xi_target``; both non-negative
+    for positive targets.
+    """
+    if not 0 < f_min < f_max:
+        raise ValueError("need 0 < f_min < f_max")
+    xi = np.asarray(xi_target, dtype=float)
+    w1 = 2.0 * np.pi * f_min
+    w2 = 2.0 * np.pi * f_max
+    # basis phi1 = 1/(2w), phi2 = w/2 on [w1, w2]
+    a11 = 0.25 * (1.0 / w1 - 1.0 / w2)  # int phi1^2 = int 1/(4w^2)
+    a12 = 0.25 * (w2 - w1)  # int phi1 phi2 = int 1/4
+    a22 = (w2**3 - w1**3) / 12.0  # int phi2^2 = int w^2/4
+    b1 = 0.5 * np.log(w2 / w1)  # int phi1 (per unit xi)
+    b2 = 0.25 * (w2**2 - w1**2)  # int phi2 (per unit xi)
+    det = a11 * a22 - a12 * a12
+    alpha = (a22 * b1 - a12 * b2) / det * xi
+    beta = (a11 * b2 - a12 * b1) / det * xi
+    return alpha, beta
+
+
+def damping_ratio(alpha, beta, f):
+    """Modal damping ratio of Rayleigh damping at frequency ``f`` (Hz)."""
+    w = 2.0 * np.pi * np.asarray(f, dtype=float)
+    return alpha / (2.0 * w) + beta * w / 2.0

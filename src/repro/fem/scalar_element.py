@@ -1,0 +1,34 @@
+"""Dimension-generic scalar (anti-plane / acoustic) reference elements.
+
+Used by the inverse problem (paper Section 3): bilinear quadrilaterals
+for the 2D antiplane model and trilinear hexahedra for the 3D scalar
+wave equation of Table 3.1.  On a regular grid of spacing ``h``:
+
+* stiffness scales as ``mu * h**(d-2)``  (``int grad N . grad N``),
+* mass scales as ``rho * h**d``          (``int N N``).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.fem.shape import gauss_points_weights, shape_functions, shape_gradients
+
+
+@lru_cache(maxsize=None)
+def scalar_stiffness_reference(d: int) -> np.ndarray:
+    """Unit-cube scalar stiffness ``int grad N_i . grad N_j`` of shape
+    ``(2**d, 2**d)``."""
+    pts, w = gauss_points_weights(d, n=2)
+    g = shape_gradients(pts, d)
+    return np.einsum("q,qia,qja->ij", w, g, g)
+
+
+@lru_cache(maxsize=None)
+def scalar_mass_reference(d: int) -> np.ndarray:
+    """Unit-cube scalar consistent mass ``int N_i N_j``."""
+    pts, w = gauss_points_weights(d, n=2)
+    N = shape_functions(pts, d)
+    return np.einsum("q,qi,qj->ij", w, N, N)

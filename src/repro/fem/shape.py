@@ -1,0 +1,63 @@
+"""Tensor-product linear shape functions and Gauss quadrature.
+
+Local coordinates live on the unit cube ``[0, 1]^d``; local node ``k``
+sits at corner ``((k >> a) & 1 for axis a)`` — the same Morton corner
+order the mesh uses.  All routines are dimension-generic (d = 1, 2, 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def gauss_points_weights(d: int, n: int = 2) -> tuple[np.ndarray, np.ndarray]:
+    """Tensor-product Gauss-Legendre rule on ``[0, 1]^d``.
+
+    Returns ``(points, weights)`` of shapes ``(n**d, d)`` and
+    ``(n**d,)``; exact for polynomials of degree ``2n - 1`` per axis.
+    """
+    x1, w1 = np.polynomial.legendre.leggauss(n)
+    x1 = 0.5 * (x1 + 1.0)  # map [-1,1] -> [0,1]
+    w1 = 0.5 * w1
+    grids = np.meshgrid(*([x1] * d), indexing="ij")
+    pts = np.stack([g.ravel() for g in grids], axis=1)
+    wgrids = np.meshgrid(*([w1] * d), indexing="ij")
+    w = np.ones(n**d)
+    for g in wgrids:
+        w = w * g.ravel()
+    return pts, w
+
+
+def shape_functions(xi: np.ndarray, d: int) -> np.ndarray:
+    """Evaluate the ``2**d`` multilinear shape functions at points
+    ``xi`` of shape ``(npts, d)``; returns ``(npts, 2**d)``."""
+    xi = np.atleast_2d(xi)
+    npts = xi.shape[0]
+    nn = 1 << d
+    out = np.ones((npts, nn))
+    for k in range(nn):
+        for a in range(d):
+            t = xi[:, a]
+            out[:, k] = out[:, k] * (t if (k >> a) & 1 else 1.0 - t)
+    return out
+
+
+def shape_gradients(xi: np.ndarray, d: int) -> np.ndarray:
+    """Gradients of the multilinear shape functions.
+
+    Returns ``(npts, 2**d, d)`` with entry ``[p, k, a] = dN_k/dxi_a``.
+    """
+    xi = np.atleast_2d(xi)
+    npts = xi.shape[0]
+    nn = 1 << d
+    out = np.ones((npts, nn, d))
+    for k in range(nn):
+        for a in range(d):
+            for b in range(d):
+                t = xi[:, b]
+                if b == a:
+                    fac = np.where((k >> b) & 1, 1.0, -1.0)
+                else:
+                    fac = t if (k >> b) & 1 else 1.0 - t
+                out[:, k, a] = out[:, k, a] * fac
+    return out

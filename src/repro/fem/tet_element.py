@@ -1,0 +1,68 @@
+"""Linear tetrahedral elastic elements (the paper's baseline code).
+
+Gradients of linear shape functions are constant per element, so the
+stiffness is ``V * B^T D B`` evaluated in closed form.  All routines are
+vectorized over the whole element array.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _tet_gradients(coords: np.ndarray, conn: np.ndarray):
+    """Constant shape-function gradients and volumes.
+
+    Returns ``(grads, vol)`` with ``grads`` of shape ``(ntet, 4, 3)``
+    (``dN_i/dx_a``) and positive volumes ``(ntet,)``.
+    """
+    p = coords[conn]  # (ntet, 4, 3)
+    e = p[:, 1:] - p[:, 0:1]  # (ntet, 3, 3) edge matrix rows
+    det = np.linalg.det(e)
+    vol = det / 6.0
+    inv = np.linalg.inv(e)  # (ntet, 3, 3); columns map to N1..N3 grads
+    g = np.empty((len(conn), 4, 3))
+    g[:, 1:, :] = np.transpose(inv, (0, 2, 1))
+    g[:, 0, :] = -g[:, 1:, :].sum(axis=1)
+    return g, vol
+
+
+def tet_elastic_stiffness(
+    coords: np.ndarray, conn: np.ndarray, lam: np.ndarray, mu: np.ndarray
+) -> np.ndarray:
+    """Element stiffness matrices, shape ``(ntet, 12, 12)``.
+
+    DOF ordering node-major: dof ``3 i + a``.  Entry
+    ``K[(i,a),(j,b)] = V [ mu (delta_ab g_i.g_j + g_j[a] g_i[b]) + lambda g_i[a] g_j[b] ]``.
+    """
+    g, vol = _tet_gradients(coords, conn)
+    if np.any(vol <= 0):
+        raise ValueError("tetrahedral elements must be positively oriented")
+    ntet = len(conn)
+    K = np.zeros((ntet, 12, 12))
+    gdot = np.einsum("eia,eja->eij", g, g)
+    for a in range(3):
+        for b in range(3):
+            blk = mu[:, None, None] * np.einsum("ej,ei->eij", g[:, :, a], g[:, :, b])
+            blk = blk + lam[:, None, None] * np.einsum(
+                "ei,ej->eij", g[:, :, a], g[:, :, b]
+            )
+            if a == b:
+                blk = blk + mu[:, None, None] * gdot
+            K[:, a::3, b::3] = blk
+    return K * vol[:, None, None]
+
+
+def tet_lumped_mass(
+    coords: np.ndarray, conn: np.ndarray, rho: np.ndarray, nnode: int
+) -> np.ndarray:
+    """Lumped nodal mass: each tet deposits ``rho V / 4`` per node.
+
+    Returns a per-node scalar mass of length ``nnode`` (identical for
+    all three displacement components).
+    """
+    _, vol = _tet_gradients(coords, conn)
+    m = rho * vol / 4.0
+    out = np.zeros(nnode)
+    np.add.at(out, conn.ravel(), np.repeat(m, 4))
+    return out

@@ -1,0 +1,206 @@
+"""The 2D antiplane fault source (paper eq. 3.1, Figure 3.1).
+
+The seismic source is a dipole along the fault:
+``f = -div( mu u0 g(t; t0, T) delta(Sigma) n )``.  We place the fault
+on the vertical midline of one column of wave elements (so the shape
+function gradients are single-valued on it); each fault element ``s``
+(one per depth cell in the rupture range) carries its own dislocation
+amplitude ``u0_s``, rise time ``t0_s``, and delay time ``T_s``.
+
+The weak form over a fault segment of length ``h`` inside element ``e``
+gives nodal forces ``b_i = mu_e u0 g(t) * h * dN_i/dx(center)`` — i.e.
+``+- mu_e u0 g / 2`` on the two element sides.  The source therefore
+depends on the *material* too, and the adjoint gradient keeps that
+coupling (the ``u0 g delta(Sigma) grad lam . n`` term of the paper's
+material equation 3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.solver.scalarwave import RegularGridScalarWave
+from repro.sources.slip import dslip_dT, dslip_dt0, slip_function
+
+
+@dataclass
+class SourceParams:
+    """Per-fault-element source fields (the unknowns of Fig 3.3)."""
+
+    u0: np.ndarray
+    t0: np.ndarray
+    T: np.ndarray
+
+    def copy(self) -> "SourceParams":
+        return SourceParams(self.u0.copy(), self.t0.copy(), self.T.copy())
+
+    def pack(self) -> np.ndarray:
+        return np.concatenate([self.u0, self.t0, self.T])
+
+    @staticmethod
+    def unpack(x: np.ndarray) -> "SourceParams":
+        n = len(x) // 3
+        return SourceParams(x[:n].copy(), x[n : 2 * n].copy(), x[2 * n :].copy())
+
+
+class FaultLineSource2D:
+    """Vertical fault through a 2D antiplane wave grid.
+
+    Parameters
+    ----------
+    solver:
+        The 2D :class:`RegularGridScalarWave`.
+    ix:
+        x-index of the element column holding the fault midline.
+    jz:
+        Depth element indices covered by the rupture (e.g.
+        ``range(8, 16)``).
+    """
+
+    def __init__(self, solver: RegularGridScalarWave, ix: int, jz):
+        if solver.d != 2:
+            raise ValueError("FaultLineSource2D is for 2D grids")
+        self.solver = solver
+        self.ix = int(ix)
+        self.jz = np.asarray(list(jz), dtype=np.int64)
+        self.ns = len(self.jz)
+        # element ids of the fault segments
+        self.elems = np.ravel_multi_index(
+            (np.full(self.ns, self.ix), self.jz), solver.shape
+        )
+        # nodal weight pattern: h * dN/dx at the element center is
+        # -1/(2h) on the x-min corners and +1/(2h) on the x-max corners,
+        # times segment length h -> +-1/2
+        conn = solver.conn[self.elems]  # (ns, 4)
+        self.nodes = conn
+        w = np.empty(4)
+        for k in range(4):
+            w[k] = +0.5 if (k & 1) else -0.5
+        self.w = w  # local corner order: bit0 = x
+
+    @property
+    def depths(self) -> np.ndarray:
+        """Physical depth of each fault-segment center."""
+        return (self.jz + 0.5) * self.solver.h
+
+    def hypocentral_params(
+        self, hypo_j: int, rupture_velocity: float, u0: float, t0: float
+    ) -> SourceParams:
+        """Constant-slip scenario: ``T_s`` from rupture distance."""
+        dist = np.abs(self.jz - hypo_j) * self.solver.h
+        return SourceParams(
+            u0=np.full(self.ns, float(u0)),
+            t0=np.full(self.ns, float(t0)),
+            T=dist / float(rupture_velocity),
+        )
+
+    # ----------------------------------------------------------- forcing
+
+    def _amps(self, mu_e: np.ndarray, p: SourceParams, t: float) -> np.ndarray:
+        g = slip_function(t, p.T, p.t0)
+        return mu_e[self.elems] * p.u0 * g
+
+    def forcing(self, mu_e: np.ndarray, p: SourceParams, dt: float):
+        """``forcing(k)`` callable for :meth:`RegularGridScalarWave.march`
+        (includes the ``dt^2`` factor)."""
+
+        def f(k: int) -> np.ndarray:
+            amp = self._amps(mu_e, p, k * dt)
+            out = np.zeros(self.solver.nnode)
+            np.add.at(
+                out,
+                self.nodes.ravel(),
+                (amp[:, None] * self.w[None, :]).ravel() * dt**2,
+            )
+            return out
+
+        return f
+
+    # --------------------------------------------------------- adjoints
+
+    def lam_projection(self, lam_k: np.ndarray) -> np.ndarray:
+        """``sum_i w_i lam[node_i]`` per fault segment — the contraction
+        every parameter derivative needs."""
+        return np.sum(lam_k[self.nodes] * self.w[None, :], axis=1)
+
+    def material_gradient_term(
+        self, proj: np.ndarray, p: SourceParams, t: float
+    ) -> np.ndarray:
+        """Per-element ``lam^T db/dmu_e`` at time ``t`` (fault elements
+        only); ``proj`` is :meth:`lam_projection` of ``lam^{k+1}``."""
+        g = slip_function(t, p.T, p.t0)
+        out = np.zeros(self.solver.nelem)
+        np.add.at(out, self.elems, proj * p.u0 * g)
+        return out
+
+    def material_gradient_batch(
+        self, lam_batch: np.ndarray, p: SourceParams, times: np.ndarray
+    ) -> np.ndarray:
+        """Time-batched ``sum_t lam^T db/dmu_e``: ``lam_batch`` is
+        ``(nt, nnode)``, ``times`` the matching source times."""
+        proj = np.einsum(
+            "tsf,f->ts", lam_batch[:, self.nodes], self.w
+        )  # (nt, ns)
+        g = slip_function(times[:, None], p.T[None, :], p.t0[None, :])
+        amp = np.sum(proj * p.u0[None, :] * g, axis=0)
+        out = np.zeros(self.solver.nelem)
+        np.add.at(out, self.elems, amp)
+        return out
+
+    def source_gradient_terms(
+        self, proj: np.ndarray, mu_e: np.ndarray, p: SourceParams, t: float
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``lam^T db/d(u0, t0, T)`` per fault segment at time ``t``."""
+        mu_s = mu_e[self.elems]
+        g = slip_function(t, p.T, p.t0)
+        dgdt0 = dslip_dt0(t, p.T, p.t0)
+        dgdT = dslip_dT(t, p.T, p.t0)
+        return (
+            proj * mu_s * g,
+            proj * mu_s * p.u0 * dgdt0,
+            proj * mu_s * p.u0 * dgdT,
+        )
+
+    def forcing_from_mu_perturbation(
+        self, dmu_e: np.ndarray, p: SourceParams, dt: float
+    ):
+        """``dt^2 (db/dmu) dmu`` forcing for the incremental forward."""
+
+        def f(k: int) -> np.ndarray:
+            g = slip_function(k * dt, p.T, p.t0)
+            amp = dmu_e[self.elems] * p.u0 * g
+            out = np.zeros(self.solver.nnode)
+            np.add.at(
+                out,
+                self.nodes.ravel(),
+                (amp[:, None] * self.w[None, :]).ravel() * dt**2,
+            )
+            return out
+
+        return f
+
+    def forcing_from_param_perturbation(
+        self, mu_e: np.ndarray, p: SourceParams, dp: SourceParams, dt: float
+    ):
+        """``dt^2 (db/dp) dp`` forcing for the incremental forward."""
+        mu_s = mu_e[self.elems]
+
+        def f(k: int) -> np.ndarray:
+            t = k * dt
+            g = slip_function(t, p.T, p.t0)
+            amp = (
+                mu_s * dp.u0 * g
+                + mu_s * p.u0 * dslip_dt0(t, p.T, p.t0) * dp.t0
+                + mu_s * p.u0 * dslip_dT(t, p.T, p.t0) * dp.T
+            )
+            out = np.zeros(self.solver.nnode)
+            np.add.at(
+                out,
+                self.nodes.ravel(),
+                (amp[:, None] * self.w[None, :]).ravel() * dt**2,
+            )
+            return out
+
+        return f

@@ -1,0 +1,182 @@
+"""Gauss-Newton-CG with Armijo backtracking (paper Section 3.1).
+
+At every Newton iteration the Gauss-Newton system ``H dm = -g`` is
+solved by preconditioned CG (each CG iteration = one forward + one
+adjoint wave solve); an Armijo backtracking line search assures global
+convergence, and a fraction-to-boundary rule keeps the iterates inside
+the log-barrier domain.  Iteration counts are recorded — they are the
+payload of Table 3.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.inverse.precond import LBFGSPreconditioner
+
+
+@dataclass
+class GNResult:
+    """Outcome and accounting of a Gauss-Newton-CG run."""
+
+    m: np.ndarray
+    objective: float
+    newton_iterations: int
+    total_cg_iterations: int
+    converged: bool
+    history: list = field(default_factory=list)
+
+    @property
+    def avg_cg_per_newton(self) -> float:
+        return self.total_cg_iterations / max(self.newton_iterations, 1)
+
+
+def _pcg(
+    hessvec: Callable[[np.ndarray], np.ndarray],
+    g: np.ndarray,
+    *,
+    tol: float,
+    maxiter: int,
+    precond: LBFGSPreconditioner | None,
+) -> tuple[np.ndarray, int]:
+    """Preconditioned CG on ``H d = -g``; truncates on negative
+    curvature (returns the best descent direction found)."""
+    n = len(g)
+    d = np.zeros(n)
+    r = -g.copy()
+    z = precond.apply(r) if precond is not None else r.copy()
+    p = z.copy()
+    rz = float(r @ z)
+    r0 = np.linalg.norm(r)
+    iters = 0
+    for _ in range(maxiter):
+        Hp = hessvec(p)
+        iters += 1
+        pHp = float(p @ Hp)
+        if precond is not None:
+            precond.stage_pair(p, Hp)
+        # scale-invariant curvature guard: compare against |p||Hp|, not
+        # |p|^2 (the Hessian's units are J / parameter^2 and can be many
+        # orders of magnitude away from 1)
+        if pHp <= 1e-14 * np.linalg.norm(p) * np.linalg.norm(Hp):
+            if not d.any():
+                d = z  # steepest (preconditioned) descent fallback
+            break
+        alpha = rz / pHp
+        d = d + alpha * p
+        r = r - alpha * Hp
+        if np.linalg.norm(r) <= tol * r0:
+            break
+        z = precond.apply(r) if precond is not None else r
+        rz_new = float(r @ z)
+        beta = rz_new / rz
+        rz = rz_new
+        p = z + beta * p
+    if not d.any():
+        d = -g
+    return d, iters
+
+
+def gauss_newton_cg(
+    problem,
+    m0: np.ndarray,
+    *,
+    max_newton: int = 30,
+    gtol: float = 1e-6,
+    cg_maxiter: int = 60,
+    cg_forcing: float = 0.5,
+    armijo_c: float = 1e-4,
+    armijo_shrink: float = 0.5,
+    armijo_max_backtracks: int = 20,
+    precond: LBFGSPreconditioner | None = None,
+    bounds_fraction: float = 0.995,
+    callback: Callable | None = None,
+    verbose: bool = False,
+) -> GNResult:
+    """Minimize ``problem.objective`` over the material parameters.
+
+    ``problem`` must provide ``gradient(m) -> (g, J, state)``,
+    ``gn_hessvec(v, state)``, ``objective(m)``, and the attributes
+    ``barrier_gamma`` / ``mu_min`` (for the fraction-to-boundary rule).
+
+    The CG tolerance follows an Eisenstat-Walker-style forcing term
+    ``min(cg_forcing, sqrt(|g|/|g0|))`` for superlinear convergence.
+    """
+    m = np.asarray(m0, dtype=float).copy()
+    g, J, state = problem.gradient(m)
+    g0_norm = np.linalg.norm(g)
+    total_cg = 0
+    history = [{"J": J, "gnorm": g0_norm}]
+    converged = False
+
+    for it in range(max_newton):
+        gnorm = np.linalg.norm(g)
+        if gnorm <= gtol * max(g0_norm, 1e-30):
+            converged = True
+            break
+        eta = min(cg_forcing, np.sqrt(gnorm / max(g0_norm, 1e-30)))
+        d, cg_iters = _pcg(
+            lambda v: problem.gn_hessvec(v, state),
+            g,
+            tol=eta,
+            maxiter=cg_maxiter,
+            precond=precond,
+        )
+        total_cg += cg_iters
+        if precond is not None:
+            precond.commit()
+
+        # fraction-to-boundary: stay strictly inside the barrier domain
+        # (only for the components the problem's barrier actually covers)
+        step = 1.0
+        if getattr(problem, "barrier_gamma", 0.0) > 0:
+            if hasattr(problem, "_barrier_mask"):
+                mask = problem._barrier_mask(m)
+            else:
+                mask = np.ones(len(m), dtype=bool)
+            gap = m[mask] - problem.mu_min
+            dm = d[mask]
+            neg = dm < 0
+            if np.any(neg):
+                limit = np.min(-bounds_fraction * gap[neg] / dm[neg])
+                step = min(step, float(limit))
+
+        gTd = float(g @ d)
+        if gTd >= 0:  # not a descent direction; fall back
+            d = -g
+            gTd = -gnorm**2
+        accepted = False
+        for _ in range(armijo_max_backtracks):
+            m_try = m + step * d
+            J_try, _, state_try = problem.objective(m_try)
+            if np.isfinite(J_try) and J_try <= J + armijo_c * step * gTd:
+                accepted = True
+                break
+            step *= armijo_shrink
+        if not accepted:
+            break
+        m = m_try
+        g, J, state = problem.gradient(m, state_try)
+        history.append(
+            {"J": J, "gnorm": float(np.linalg.norm(g)), "cg": cg_iters,
+             "step": step}
+        )
+        if verbose:
+            print(
+                f"GN {it + 1:3d}: J={J:.6e} |g|={history[-1]['gnorm']:.3e} "
+                f"cg={cg_iters} step={step:.3f}"
+            )
+        if callback is not None:
+            callback(it, m, J)
+
+    return GNResult(
+        m=m,
+        objective=J,
+        newton_iterations=len(history) - 1,
+        total_cg_iterations=total_cg,
+        converged=converged,
+        history=history,
+    )

@@ -1,0 +1,92 @@
+"""Material parameter grids and prolongation operators.
+
+The inversion parameter is the shear modulus at the nodes of a coarse
+regular *material grid* over the same box as the wave grid (the paper's
+"piecewise (bi/tri)linear" material approximation).  Two sparse
+prolongations connect the spaces:
+
+* ``to_elements`` — material-grid nodal values, interpolated
+  multilinearly at wave-element centers, give the per-element ``mu``
+  the solver consumes;
+* ``to_finer`` — nodal interpolation onto the next (refined) material
+  grid, used by the multiscale continuation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.fem.shape import shape_functions
+from repro.solver.scalarwave import RegularGridScalarWave
+
+
+class MaterialGrid:
+    """A regular node-based parameter grid over ``[0, n_i * h]``.
+
+    Parameters
+    ----------
+    shape:
+        Cells per axis (nodes are ``shape + 1``); same axis order as the
+        wave grid.
+    lengths:
+        Physical box extents (meters), matching the wave grid's.
+    """
+
+    def __init__(self, shape, lengths):
+        self.shape = tuple(int(n) for n in shape)
+        self.d = len(self.shape)
+        self.lengths = tuple(float(x) for x in lengths)
+        if len(self.lengths) != self.d:
+            raise ValueError("shape and lengths dimensions differ")
+        self.node_shape = tuple(n + 1 for n in self.shape)
+        self.n = int(np.prod(self.node_shape))
+        self.h = np.array(
+            [L / n for L, n in zip(self.lengths, self.shape)]
+        )
+
+    def node_coords(self) -> np.ndarray:
+        grids = np.meshgrid(
+            *[np.arange(n + 1) * hh for n, hh in zip(self.shape, self.h)],
+            indexing="ij",
+        )
+        return np.stack([g.ravel() for g in grids], axis=1)
+
+    def interpolation_matrix(self, points: np.ndarray) -> sp.csr_matrix:
+        """Sparse multilinear interpolation from grid nodes to arbitrary
+        points inside the box, shape ``(npts, n)``."""
+        pts = np.atleast_2d(np.asarray(points, dtype=float))
+        npts = len(pts)
+        # cell index and local coordinate per axis
+        rel = pts / self.h[None, :]
+        cell = np.minimum(np.floor(rel).astype(np.int64), np.array(self.shape) - 1)
+        cell = np.maximum(cell, 0)
+        xi = np.clip(rel - cell, 0.0, 1.0)
+        N = shape_functions(xi, self.d)  # (npts, 2^d)
+        nn = 1 << self.d
+        cols = np.empty((npts, nn), dtype=np.int64)
+        for k in range(nn):
+            corner = cell + np.array(
+                [(k >> a) & 1 for a in range(self.d)], dtype=np.int64
+            )
+            cols[:, k] = np.ravel_multi_index(tuple(corner.T), self.node_shape)
+        rows = np.repeat(np.arange(npts), nn)
+        return sp.csr_matrix(
+            (N.ravel(), (rows, cols.ravel())), shape=(npts, self.n)
+        )
+
+    def to_elements(self, solver: RegularGridScalarWave) -> sp.csr_matrix:
+        """Prolongation to per-element values of a wave grid."""
+        if solver.d != self.d:
+            raise ValueError("dimension mismatch")
+        return self.interpolation_matrix(solver.elem_centers())
+
+    def to_finer(self, fine: "MaterialGrid") -> sp.csr_matrix:
+        """Prolongation to a finer material grid's nodes."""
+        return self.interpolation_matrix(fine.node_coords())
+
+    def sample(self, fn) -> np.ndarray:
+        """Evaluate a callable field at the grid nodes."""
+        return np.asarray(fn(self.node_coords()), dtype=float)

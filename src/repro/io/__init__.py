@@ -1,0 +1,14 @@
+"""Observation capture: receivers (seismograms) and wavefield snapshots."""
+
+from repro.io.seismogram import ReceiverArray, Seismograms
+from repro.io.snapshots import SnapshotRecorder
+from repro.io.viz import render_grid, render_section, render_surface_snapshot
+
+__all__ = [
+    "ReceiverArray",
+    "Seismograms",
+    "SnapshotRecorder",
+    "render_grid",
+    "render_section",
+    "render_surface_snapshot",
+]

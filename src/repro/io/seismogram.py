@@ -1,0 +1,95 @@
+"""Receivers and recorded time series."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class Seismograms:
+    """Recorded displacement/velocity time series.
+
+    ``data`` has shape ``(nrec, ncomp, nsteps)``; ``dt`` is the sample
+    interval.
+    """
+
+    data: np.ndarray
+    dt: float
+    kind: str = "velocity"
+    positions: np.ndarray | None = None
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.arange(self.data.shape[-1]) * self.dt
+
+    def lowpassed(self, f_cut: float) -> "Seismograms":
+        from repro.util.filters import lowpass
+
+        return Seismograms(
+            data=lowpass(self.data, self.dt, f_cut),
+            dt=self.dt,
+            kind=self.kind,
+            positions=self.positions,
+        )
+
+    def misfit(self, other: "Seismograms") -> float:
+        """Relative L2 waveform misfit against another recording."""
+        num = np.linalg.norm(self.data - other.data)
+        den = np.linalg.norm(other.data)
+        return float(num / den) if den > 0 else float(num)
+
+    def peak_ground_motion(self) -> np.ndarray:
+        """Peak absolute amplitude per receiver (PGV for velocity
+        recordings, PGD for displacement)."""
+        return np.abs(self.data).max(axis=(1, 2))
+
+    def save(self, path: str) -> None:
+        """Write to a compressed ``.npz`` archive."""
+        np.savez_compressed(
+            path,
+            data=self.data,
+            dt=self.dt,
+            kind=self.kind,
+            positions=(
+                self.positions
+                if self.positions is not None
+                else np.zeros((0, 3))
+            ),
+        )
+
+    @staticmethod
+    def load(path: str) -> "Seismograms":
+        """Read an archive written by :meth:`save`."""
+        with np.load(path, allow_pickle=False) as z:
+            positions = z["positions"]
+            return Seismograms(
+                data=z["data"],
+                dt=float(z["dt"]),
+                kind=str(z["kind"]),
+                positions=positions if positions.size else None,
+            )
+
+
+class ReceiverArray:
+    """Nearest-node receivers recording the solution every step."""
+
+    def __init__(self, mesh, positions: np.ndarray):
+        from repro.octree.morton import MAX_COORD
+
+        positions = np.atleast_2d(np.asarray(positions, dtype=float))
+        ticks = positions / mesh.L * MAX_COORD
+        # nearest mesh node by rounding onto the lattice then searching
+        # the node array (exact for receivers placed on grid points)
+        d2 = None
+        self.nodes = np.empty(len(positions), dtype=np.int64)
+        node_ticks = mesh.node_ticks
+        for i, t in enumerate(ticks):
+            d2 = np.sum((node_ticks - t) ** 2, axis=1)
+            self.nodes[i] = int(np.argmin(d2))
+        self.positions = node_ticks[self.nodes] * (mesh.L / MAX_COORD)
+        self.nrec = len(self.nodes)
+
+    def allocate(self, ncomp: int, nsteps: int) -> np.ndarray:
+        return np.zeros((self.nrec, ncomp, nsteps))

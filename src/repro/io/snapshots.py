@@ -1,0 +1,28 @@
+"""Free-surface wavefield snapshots (paper Figures 2.2 and 2.5)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class SnapshotRecorder:
+    """Records the magnitude of a nodal field on a node subset at a
+    fixed stride of time steps."""
+
+    def __init__(self, node_subset: np.ndarray, every: int):
+        self.nodes = np.asarray(node_subset, dtype=np.int64)
+        self.every = int(every)
+        self.times: list[float] = []
+        self.frames: list[np.ndarray] = []
+
+    def maybe_record(self, step: int, t: float, field: np.ndarray) -> None:
+        if step % self.every:
+            return
+        f = field[self.nodes]
+        mag = np.linalg.norm(f, axis=1) if f.ndim == 2 else np.abs(f)
+        self.times.append(float(t))
+        self.frames.append(mag.copy())
+
+    def as_array(self) -> np.ndarray:
+        """Stacked frames, shape ``(nframes, nnodes_subset)``."""
+        return np.stack(self.frames) if self.frames else np.zeros((0, 0))

@@ -1,0 +1,63 @@
+"""Terminal-friendly field rendering.
+
+Matplotlib-free helpers used by the examples and benchmarks to show 2D
+sections and surface snapshots as character rasters — enough to see the
+basin geometry, wavefronts, and inverted structure in a terminal log.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: ramp from quiet to intense
+_RAMP = " .:-=+*#%@"
+
+
+def render_grid(values: np.ndarray, *, vmin=None, vmax=None,
+                transpose: bool = False) -> str:
+    """Render a 2D array as characters (rows = second axis by default,
+    matching the (x, depth) layout of cross-sections: surface on top).
+    """
+    v = np.asarray(values, dtype=float)
+    if v.ndim != 2:
+        raise ValueError("render_grid needs a 2D array")
+    if transpose:
+        v = v.T
+    lo = float(np.min(v)) if vmin is None else float(vmin)
+    hi = float(np.max(v)) if vmax is None else float(vmax)
+    span = hi - lo if hi > lo else 1.0
+    idx = np.clip(
+        ((v - lo) / span * (len(_RAMP) - 1)).round().astype(int),
+        0,
+        len(_RAMP) - 1,
+    )
+    rows = []
+    for j in range(v.shape[1]):
+        rows.append("".join(_RAMP[i] for i in idx[:, j]))
+    return "\n".join(rows)
+
+
+def render_section(grid, m: np.ndarray, **kw) -> str:
+    """Render a nodal field on a :class:`MaterialGrid` (2D) with the
+    free surface on top."""
+    v = np.asarray(m, dtype=float).reshape(grid.node_shape)
+    return render_grid(v, **kw)
+
+
+def render_surface_snapshot(
+    mesh, nodes: np.ndarray, values: np.ndarray, *, width: int = 64
+) -> str:
+    """Rasterize scattered free-surface samples onto a character grid
+    (used for the Figure 2.5-style wavefront frames)."""
+    xy = mesh.coords[nodes][:, :2]
+    L = mesh.box_lengths[:2]
+    nx = width
+    ny = max(2, int(width * L[1] / L[0]))
+    img = np.zeros((nx, ny))
+    cnt = np.zeros((nx, ny))
+    ix = np.clip((xy[:, 0] / L[0] * (nx - 1)).astype(int), 0, nx - 1)
+    iy = np.clip((xy[:, 1] / L[1] * (ny - 1)).astype(int), 0, ny - 1)
+    np.add.at(img, (ix, iy), values)
+    np.add.at(cnt, (ix, iy), 1.0)
+    img = np.divide(img, cnt, out=np.zeros_like(img), where=cnt > 0)
+    return render_grid(img)

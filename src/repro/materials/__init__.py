@@ -1,0 +1,23 @@
+"""Material (velocity) models.
+
+Every model exposes ``query(points_m) -> (vs, vp, rho)``, vectorized
+over ``(n, 3)`` physical points in meters with ``z`` pointing down.
+:class:`SyntheticBasinModel` is our stand-in for the SCEC Community
+Velocity Model of the Greater LA Basin (see DESIGN.md): a soft
+sedimentary basin (vs down to ~100 m/s near the surface, as in the
+paper's 1 Hz runs) embedded in layered bedrock reaching ~4500 m/s.
+"""
+
+from repro.materials.models import (
+    HomogeneousMaterial,
+    LayeredMaterial,
+    MaterialModel,
+)
+from repro.materials.cvm import SyntheticBasinModel
+
+__all__ = [
+    "MaterialModel",
+    "HomogeneousMaterial",
+    "LayeredMaterial",
+    "SyntheticBasinModel",
+]

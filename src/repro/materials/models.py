@@ -1,0 +1,73 @@
+"""Basic material models: homogeneous and horizontally layered."""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+import numpy as np
+
+
+class MaterialModel(Protocol):
+    """Anything that can be queried for seismic properties."""
+
+    def query(
+        self, points: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(vs, vp, rho)`` at physical points ``(n, 3)`` meters."""
+        ...  # pragma: no cover
+
+
+class HomogeneousMaterial:
+    """Uniform halfspace."""
+
+    def __init__(self, vs: float, vp: float, rho: float):
+        if vp < np.sqrt(2.0) * vs:
+            raise ValueError("vp must be at least sqrt(2) vs")
+        self.vs, self.vp, self.rho = float(vs), float(vp), float(rho)
+
+    def query(self, points: np.ndarray):
+        n = len(np.atleast_2d(points))
+        return (
+            np.full(n, self.vs),
+            np.full(n, self.vp),
+            np.full(n, self.rho),
+        )
+
+
+class LayeredMaterial:
+    """Horizontal layers over a halfspace (z down, meters).
+
+    ``interfaces`` are the depths of the layer *bottoms*; a point deeper
+    than the last interface gets the halfspace properties (the last
+    entry of each property list).
+    """
+
+    def __init__(
+        self,
+        interfaces: Sequence[float],
+        vs: Sequence[float],
+        vp: Sequence[float],
+        rho: Sequence[float],
+    ):
+        self.interfaces = np.asarray(interfaces, dtype=float)
+        if np.any(np.diff(self.interfaces) <= 0):
+            raise ValueError("interfaces must be strictly increasing")
+        nlayer = len(self.interfaces) + 1
+        for name, arr in (("vs", vs), ("vp", vp), ("rho", rho)):
+            if len(arr) != nlayer:
+                raise ValueError(
+                    f"{name} needs {nlayer} entries (layers + halfspace)"
+                )
+        self.vs = np.asarray(vs, dtype=float)
+        self.vp = np.asarray(vp, dtype=float)
+        self.rho = np.asarray(rho, dtype=float)
+        if np.any(self.vp < np.sqrt(2.0) * self.vs):
+            raise ValueError("every layer needs vp >= sqrt(2) vs")
+
+    def layer_of(self, z: np.ndarray) -> np.ndarray:
+        return np.searchsorted(self.interfaces, np.asarray(z, dtype=float), "right")
+
+    def query(self, points: np.ndarray):
+        pts = np.atleast_2d(points)
+        li = self.layer_of(pts[:, 2])
+        return self.vs[li], self.vp[li], self.rho[li]

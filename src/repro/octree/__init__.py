@@ -1,0 +1,51 @@
+"""Linear octrees keyed by Morton codes (paper Section 2.3).
+
+The paper addresses octants with a variant of the Morton code: the key of
+an octant is the interleaved-bit code of its lower-left corner with the
+octant's level appended.  This package provides vectorized Morton
+encoding/decoding, octant arithmetic (parents, children, neighbors),
+sorted linear octrees with point location, wavelength-adaptive octree
+construction, and 2-to-1 balancing — both the plain "ripple" algorithm
+and the paper's blocked *local balancing* (internal + boundary phases).
+"""
+
+from repro.octree.morton import (
+    MAX_LEVEL,
+    MAX_COORD,
+    morton_encode,
+    morton_decode,
+    dilate3,
+    contract3,
+)
+from repro.octree.octant import (
+    pack_key,
+    unpack_key,
+    octant_size,
+    octant_children,
+    octant_parent,
+    octant_anchor,
+    is_ancestor,
+)
+from repro.octree.linear_octree import LinearOctree, build_adaptive_octree
+from repro.octree.balance import balance_octree, local_balance_octree, is_balanced
+
+__all__ = [
+    "MAX_LEVEL",
+    "MAX_COORD",
+    "morton_encode",
+    "morton_decode",
+    "dilate3",
+    "contract3",
+    "pack_key",
+    "unpack_key",
+    "octant_size",
+    "octant_children",
+    "octant_parent",
+    "octant_anchor",
+    "is_ancestor",
+    "LinearOctree",
+    "build_adaptive_octree",
+    "balance_octree",
+    "local_balance_octree",
+    "is_balanced",
+]

@@ -1,0 +1,70 @@
+"""Vectorized 3D Morton (Z-order) codes.
+
+The etree method (paper Section 2.3, [27]) maps a 3D integer coordinate
+to a scalar by interleaving the bits of its binary representation.  We
+use the classic magic-number "dilated integer" implementation so the
+encode/decode work on whole numpy arrays at once.
+
+Coordinates live on an integer lattice of ``2**MAX_LEVEL`` ticks per
+axis; an octant at level ``l`` spans ``2**(MAX_LEVEL - l)`` ticks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Deepest octree level supported.  16 levels -> 48-bit Morton codes,
+#: which (plus 5 level bits) still fit a uint64 packed key.
+MAX_LEVEL = 16
+
+#: Number of lattice ticks per axis (domain is [0, MAX_COORD)^3).
+MAX_COORD = 1 << MAX_LEVEL
+
+_U = np.uint64
+
+
+def dilate3(x: np.ndarray) -> np.ndarray:
+    """Spread the low 21 bits of ``x`` so consecutive bits are 3 apart.
+
+    ``abcd -> a00b00c00d`` (each input bit followed by two zeros).
+    """
+    x = np.asarray(x, dtype=np.uint64)
+    x = x & _U(0x1FFFFF)
+    x = (x | (x << _U(32))) & _U(0x1F00000000FFFF)
+    x = (x | (x << _U(16))) & _U(0x1F0000FF0000FF)
+    x = (x | (x << _U(8))) & _U(0x100F00F00F00F00F)
+    x = (x | (x << _U(4))) & _U(0x10C30C30C30C30C3)
+    x = (x | (x << _U(2))) & _U(0x1249249249249249)
+    return x
+
+
+def contract3(x: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`dilate3`: gather every third bit."""
+    x = np.asarray(x, dtype=np.uint64)
+    x = x & _U(0x1249249249249249)
+    x = (x | (x >> _U(2))) & _U(0x10C30C30C30C30C3)
+    x = (x | (x >> _U(4))) & _U(0x100F00F00F00F00F)
+    x = (x | (x >> _U(8))) & _U(0x1F0000FF0000FF)
+    x = (x | (x >> _U(16))) & _U(0x1F00000000FFFF)
+    x = (x | (x >> _U(32))) & _U(0x1FFFFF)
+    return x
+
+
+def morton_encode(x, y, z) -> np.ndarray:
+    """Interleave integer coordinates ``(x, y, z)`` into Morton codes.
+
+    Bit ``k`` of ``x`` lands at bit ``3k`` of the code, ``y`` at
+    ``3k + 1``, ``z`` at ``3k + 2``, so codes sort in Z order.
+    Accepts scalars or arrays (broadcast together).
+    """
+    return (
+        dilate3(np.asarray(x, dtype=np.uint64))
+        | (dilate3(np.asarray(y, dtype=np.uint64)) << _U(1))
+        | (dilate3(np.asarray(z, dtype=np.uint64)) << _U(2))
+    )
+
+
+def morton_decode(code) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Recover ``(x, y, z)`` integer coordinates from Morton codes."""
+    code = np.asarray(code, dtype=np.uint64)
+    return contract3(code), contract3(code >> _U(1)), contract3(code >> _U(2))

@@ -1,0 +1,92 @@
+"""Octant key arithmetic.
+
+Following the paper (Section 2.3), an octant is identified by the Morton
+code of its lower-left corner with its level appended: we pack the
+48-bit Morton code and the 5-bit level into a single uint64,
+``key = (morton << 5) | level``.  All functions are vectorized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.octree.morton import MAX_LEVEL, morton_decode, morton_encode
+
+_U = np.uint64
+
+#: Number of low bits used to store the level inside a packed key.
+LEVEL_BITS = 5
+_LEVEL_MASK = _U((1 << LEVEL_BITS) - 1)
+
+
+def pack_key(morton, level) -> np.ndarray:
+    """Pack (morton, level) into a single uint64 key, Morton-major."""
+    return (np.asarray(morton, dtype=np.uint64) << _U(LEVEL_BITS)) | (
+        np.asarray(level, dtype=np.uint64) & _LEVEL_MASK
+    )
+
+
+def unpack_key(key) -> tuple[np.ndarray, np.ndarray]:
+    """Inverse of :func:`pack_key`: returns ``(morton, level)``."""
+    key = np.asarray(key, dtype=np.uint64)
+    return key >> _U(LEVEL_BITS), (key & _LEVEL_MASK).astype(np.int64)
+
+
+def octant_size(level) -> np.ndarray:
+    """Edge length of a level-``level`` octant in lattice ticks."""
+    return np.asarray(1 << (MAX_LEVEL - np.asarray(level, dtype=np.int64)))
+
+
+def octant_anchor(key) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Lower-left corner ``(x, y, z)`` and ``level`` of packed keys."""
+    morton, level = unpack_key(key)
+    x, y, z = morton_decode(morton)
+    return x.astype(np.int64), y.astype(np.int64), z.astype(np.int64), level
+
+
+def octant_parent(key) -> np.ndarray:
+    """Packed key of each octant's parent (level must be >= 1)."""
+    x, y, z, level = octant_anchor(key)
+    if np.any(level < 1):
+        raise ValueError("root octant has no parent")
+    psize = octant_size(level - 1)
+    px = (x // psize) * psize
+    py = (y // psize) * psize
+    pz = (z // psize) * psize
+    return pack_key(morton_encode(px, py, pz), level - 1)
+
+
+def octant_children(key) -> np.ndarray:
+    """Packed keys of the 8 children of each octant, shape ``(..., 8)``.
+
+    Children are returned in Morton order, so the flattened output of a
+    Morton-sorted input remains Morton-sorted.
+    """
+    x, y, z, level = octant_anchor(key)
+    if np.any(level >= MAX_LEVEL):
+        raise ValueError("cannot refine beyond MAX_LEVEL")
+    half = octant_size(level + 1)
+    offs = np.array(
+        [(i & 1, (i >> 1) & 1, (i >> 2) & 1) for i in range(8)], dtype=np.int64
+    )
+    cx = x[..., None] + offs[:, 0] * half[..., None]
+    cy = y[..., None] + offs[:, 1] * half[..., None]
+    cz = z[..., None] + offs[:, 2] * half[..., None]
+    lvl = np.broadcast_to((level + 1)[..., None], cx.shape)
+    return pack_key(morton_encode(cx, cy, cz), lvl)
+
+
+def is_ancestor(anc_key, desc_key) -> np.ndarray:
+    """True where ``anc_key`` is a strict ancestor of ``desc_key``."""
+    ax, ay, az, alvl = octant_anchor(anc_key)
+    dx, dy, dz, dlvl = octant_anchor(desc_key)
+    asz = octant_size(alvl)
+    inside = (
+        (dx >= ax)
+        & (dx < ax + asz)
+        & (dy >= ay)
+        & (dy < ay + asz)
+        & (dz >= az)
+        & (dz < az + asz)
+    )
+    return inside & (dlvl > alvl)

@@ -1,0 +1,32 @@
+"""Simulated parallel execution (paper Section 2.4; see DESIGN.md).
+
+The paper's scalability numbers come from 3000 AlphaServer processors
+on a Quadrics network.  We reproduce the *algorithmic* side exactly —
+element partitions, per-rank work, interface exchange volumes — with an
+in-process simulated MPI (:class:`SimWorld`), and convert the measured
+work/communication into wall time with a calibrated machine model
+(:class:`MachineModel`).  The distributed matvec is executed for real
+(rank by rank, ghost exchange and all) and verified to reproduce the
+serial operator bit-for-bit on shared nodes.
+"""
+
+from repro.parallel.simcomm import SimWorld, SimComm
+from repro.parallel.decomposition import DistributedElasticOperator
+from repro.parallel.dist_solver import DistributedWaveSolver
+from repro.parallel.perfmodel import (
+    MachineModel,
+    ALPHASERVER_ES45,
+    ScalabilityRow,
+    predict_scalability,
+)
+
+__all__ = [
+    "SimWorld",
+    "SimComm",
+    "DistributedElasticOperator",
+    "DistributedWaveSolver",
+    "MachineModel",
+    "ALPHASERVER_ES45",
+    "ScalabilityRow",
+    "predict_scalability",
+]

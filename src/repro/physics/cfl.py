@@ -1,0 +1,24 @@
+"""CFL-limited explicit time step.
+
+The multiresolution mesh is wavelength-adaptive, so (paper Section 2)
+the Courant limit is of the order of the step needed for accuracy —
+this is why adaptive meshes also pay off in time-step count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def stable_timestep(h, vp, *, safety: float = 0.5, dim: int = 3) -> float:
+    """Explicit central-difference stable step for lumped trilinear
+    elements: ``dt = safety * min(h / vp) / sqrt(dim)``.
+
+    ``h`` and ``vp`` are per-element arrays; the minimum ratio over the
+    mesh governs (the finest/softest element).
+    """
+    h = np.asarray(h, dtype=float)
+    vp = np.asarray(vp, dtype=float)
+    if h.size == 0:
+        raise ValueError("empty mesh")
+    return float(safety * np.min(h / vp) / np.sqrt(dim))

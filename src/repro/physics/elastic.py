@@ -1,0 +1,30 @@
+"""Lamé moduli and seismic wave speeds."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def lame_from_velocities(vs, vp, rho) -> tuple[np.ndarray, np.ndarray]:
+    """``(lambda, mu)`` from wave speeds and density.
+
+    ``mu = rho vs^2``; ``lambda = rho (vp^2 - 2 vs^2)``.  Raises if the
+    velocities imply a negative lambda (``vp < sqrt(2) vs``), which is
+    unphysical for an isotropic elastic solid.
+    """
+    vs = np.asarray(vs, dtype=float)
+    vp = np.asarray(vp, dtype=float)
+    rho = np.asarray(rho, dtype=float)
+    mu = rho * vs**2
+    lam = rho * (vp**2 - 2.0 * vs**2)
+    if np.any(lam < 0):
+        raise ValueError("vp < sqrt(2) vs implies negative lambda")
+    return lam, mu
+
+
+def velocities_from_lame(lam, mu, rho) -> tuple[np.ndarray, np.ndarray]:
+    """``(vs, vp)`` from Lamé moduli and density."""
+    lam = np.asarray(lam, dtype=float)
+    mu = np.asarray(mu, dtype=float)
+    rho = np.asarray(rho, dtype=float)
+    return np.sqrt(mu / rho), np.sqrt((lam + 2.0 * mu) / rho)

@@ -1,0 +1,125 @@
+"""Stacey's absorbing boundary condition (paper Section 2.1).
+
+On a truncation face with outward normal ``n`` and tangents ``t1, t2``:
+
+    ``S n = [[-d1 d/dt,  c1 d/dt1,  c1 d/dt2],
+             [-c1 d/dt1, -d2 d/dt,  0       ],
+             [-c1 d/dt2,  0,        -d2 d/dt]] (u_n, u_t1, u_t2)``
+
+with ``c1 = -2 mu + sqrt(mu (lambda + 2 mu))``,
+``d1 = sqrt(rho (lambda + 2 mu))`` (plane-wave impedance of P waves) and
+``d2 = sqrt(rho mu)`` (impedance of S waves).  Discretizing the
+boundary term of the weak form produces a (lumped) damping matrix
+``C_AB`` from the ``d`` terms and a sparse first-order coupling matrix
+``K_AB`` from the ``c1`` terms.  Both are local in space and time —
+"particularly important for large-scale parallel implementation".
+
+Dropping the ``c1`` terms recovers the classic Lysmer-Kuhlemeyer viscous
+boundary (exact for normal incidence), exposed via ``include_c1=False``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.fem.shape import gauss_points_weights, shape_functions, shape_gradients
+
+
+def stacey_coefficients(lam, mu, rho):
+    """``(d1, d2, c1)`` per boundary element."""
+    lam = np.asarray(lam, dtype=float)
+    mu = np.asarray(mu, dtype=float)
+    rho = np.asarray(rho, dtype=float)
+    d1 = np.sqrt(rho * (lam + 2.0 * mu))
+    d2 = np.sqrt(rho * mu)
+    c1 = -2.0 * mu + np.sqrt(mu * (lam + 2.0 * mu))
+    return d1, d2, c1
+
+
+@lru_cache(maxsize=None)
+def _face_gradient_reference(axis: int) -> np.ndarray:
+    """``G[i, j] = int_[0,1]^2 N_i dN_j/dxi_axis`` on the reference quad."""
+    pts, w = gauss_points_weights(2, n=2)
+    N = shape_functions(pts, 2)
+    g = shape_gradients(pts, 2)
+    return np.einsum("q,qi,qj->ij", w, N, g[:, :, axis])
+
+
+def stacey_boundary_matrices(
+    faces: list[tuple[np.ndarray, np.ndarray, int, np.ndarray]],
+    nnode: int,
+    *,
+    include_c1: bool = True,
+) -> tuple[np.ndarray, sp.csr_matrix]:
+    """Build the absorbing-boundary damping and coupling matrices.
+
+    Parameters
+    ----------
+    faces:
+        One entry per absorbing boundary plane:
+        ``(face_nodes, h, axis, side, (d1, d2, c1))`` where
+        ``face_nodes`` is ``(nface, 4)`` global node indices of the
+        boundary quads (in the mesh's 2D Morton corner order within the
+        plane), ``h`` their physical edge lengths ``(nface,)``, ``axis``
+        the normal axis, ``side`` 0/1 for the min/max plane (fixing the
+        outward normal direction), and the coefficient arrays are per
+        face.
+    nnode:
+        Total grid points; returned shapes are ``(nnode, 3)`` and
+        ``(3 nnode, 3 nnode)``.
+
+    Returns
+    -------
+    (C_diag, K_AB):
+        ``C_diag`` — lumped damping per node and component (multiplies
+        velocity); ``K_AB`` — sparse coupling from the ``c1`` tangential
+        derivative terms (zero matrix when ``include_c1=False``).
+    """
+    C = np.zeros((nnode, 3))
+    rows, cols, vals = [], [], []
+    for face_nodes, h, axis, side, (d1, d2, c1) in faces:
+        sign = 1.0 if side == 1 else -1.0  # u_n = sign * u_axis
+        face_nodes = np.asarray(face_nodes)
+        h = np.asarray(h, dtype=float)
+        nface = len(face_nodes)
+        if nface == 0:
+            continue
+        area4 = h**2 / 4.0  # lumped quarter-area per face node
+        tangents = [a for a in range(3) if a != axis]
+        # damping: d1 on the normal component, d2 on the tangentials
+        np.add.at(C[:, axis], face_nodes.ravel(), np.repeat(d1 * area4, 4))
+        for t in tangents:
+            np.add.at(C[:, t], face_nodes.ravel(), np.repeat(d2 * area4, 4))
+        if not include_c1:
+            continue
+        # c1 coupling: -c1 (du_t/dt) paired with v_n and +c1 (du_n/dt)
+        # paired with v_t (signs from moving the boundary term of the
+        # weak form to the left-hand side)
+        for k, t in enumerate(tangents):
+            G = _face_gradient_reference(k)  # int N_i dN_j/dxi_k, scale h
+            # K[(i,axis),(j,t)] += -c1 * h * G[i,j]
+            # K[(i,t),(j,axis)] += +c1 * h * G[i,j]
+            coef = sign * c1 * h  # (nface,)
+            gi = face_nodes[:, :, None] * 3  # base dof of node i
+            gj = face_nodes[:, None, :] * 3
+            blk = coef[:, None, None] * G[None, :, :]
+            rows.append((gi + axis).repeat(4, axis=2).ravel())
+            cols.append((gj + t).repeat(4, axis=1).ravel())
+            vals.append(-blk.ravel())
+            rows.append((gi + t).repeat(4, axis=2).ravel())
+            cols.append((gj + axis).repeat(4, axis=1).ravel())
+            vals.append(blk.ravel())
+    if rows:
+        K_AB = sp.coo_matrix(
+            (
+                np.concatenate(vals),
+                (np.concatenate(rows), np.concatenate(cols)),
+            ),
+            shape=(3 * nnode, 3 * nnode),
+        ).tocsr()
+    else:
+        K_AB = sp.csr_matrix((3 * nnode, 3 * nnode))
+    return C, K_AB

@@ -1,0 +1,27 @@
+"""Wave propagation solvers.
+
+:class:`ElasticWaveSolver` is the paper's production code path: explicit
+central differences on octree hexahedral meshes with lumped mass,
+diagonal/off-diagonal splitting of the damping terms (eq. 2.4), Stacey
+absorbing boundaries, Rayleigh attenuation, and the hanging-node
+projection ``B^T A B ubar = B^T b`` (eq. 2.5) that keeps the update
+explicit.
+
+:class:`TetWaveSolver` is the earlier linear-tetrahedra baseline used
+for verification (Figure 2.4).
+
+:class:`RegularGridScalarWave` is the dimension-generic scalar wave
+substrate of the inverse problem (2D antiplane and 3D scalar).
+"""
+
+from repro.solver.wave_solver import ElasticWaveSolver
+from repro.solver.tet_solver import TetWaveSolver
+from repro.solver.scalarwave import RegularGridScalarWave
+from repro.solver.checkpoint import checkpoint_schedule
+
+__all__ = [
+    "ElasticWaveSolver",
+    "TetWaveSolver",
+    "RegularGridScalarWave",
+    "checkpoint_schedule",
+]

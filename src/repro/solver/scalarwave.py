@@ -1,0 +1,348 @@
+"""Dimension-generic regular-grid scalar wave solver (paper Section 3).
+
+The inverse problem's state equation is
+
+    ``rho u'' - div(mu grad u) = f``
+
+on a rectangular box: free surface on top (``z = 0``), first-order
+absorbing boundaries ``mu du/dn = -sqrt(rho mu) u'`` on the sides and
+bottom.  Discretization: multilinear elements on a regular grid (2D
+antiplane cross-sections or the 3D scalar case of Table 3.1), lumped
+mass, central differences — the same machinery as the 3D forward code.
+
+The class exposes the *operator pieces* the discrete adjoint needs:
+
+* ``apply_K(mu, u)``        — stiffness action for per-element ``mu``;
+* ``damping_diag(mu)``      — lumped absorbing damping (depends on mu);
+* ``K_material_gradient``   — per-element ``lam^T (dK/dmu_e) u``;
+* ``C_material_gradient``   — per-element ``lam^T (dC/dmu_e) w``;
+* ``march``                 — the shared leapfrog driver used by the
+  forward, adjoint, and incremental (Gauss-Newton) sweeps, which are
+  all the same dissipative recurrence.
+
+The leapfrog convention (states ``x^0 .. x^N``, ``x^0 = x^1 = 0``):
+
+    ``A+ x^{k+1} = (2 M - dt^2 K) x^k - A- x^{k-1} + f^k``,
+    ``A+- = M +- (dt/2) C``,  for k = 1 .. N-1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.fem.scalar_element import scalar_stiffness_reference
+
+#: boundary classification helpers: (axis, side) pairs
+Plane = tuple[int, int]
+
+
+class RegularGridScalarWave:
+    """Scalar wave substrate on a regular grid.
+
+    Parameters
+    ----------
+    shape:
+        Elements per axis, e.g. ``(nx, nz)`` or ``(nx, ny, nz)``.  The
+        last axis is depth (z, pointing down).
+    h:
+        Grid spacing (meters), equal in all axes.
+    rho:
+        Density (scalar; the paper's inversion assumes known density).
+    absorbing:
+        Absorbing planes; default all but the top.
+    """
+
+    def __init__(
+        self,
+        shape: Sequence[int],
+        h: float,
+        rho: float,
+        *,
+        absorbing: Sequence[Plane] | None = None,
+    ):
+        self.shape = tuple(int(n) for n in shape)
+        self.d = len(self.shape)
+        if self.d not in (2, 3):
+            raise ValueError("2D or 3D only")
+        self.h = float(h)
+        self.rho = float(rho)
+        self.node_shape = tuple(n + 1 for n in self.shape)
+        self.nnode = int(np.prod(self.node_shape))
+        self.nelem = int(np.prod(self.shape))
+        self.K_ref = scalar_stiffness_reference(self.d)
+        self.conn = self._build_conn()
+        self._conn_flat = self.conn.ravel()
+        # lumped mass: rho h^d / 2^d per corner
+        nn = 1 << self.d
+        self.m = np.bincount(
+            self._conn_flat,
+            weights=np.full(self.nelem * nn, self.rho * self.h**self.d / nn),
+            minlength=self.nnode,
+        )
+        if absorbing is None:
+            absorbing = [
+                (a, s) for a in range(self.d) for s in (0, 1)
+            ]
+            absorbing.remove((self.d - 1, 0))  # free surface on top
+        self.absorbing = tuple(absorbing)
+        self._boundary = [self._boundary_face(a, s) for (a, s) in self.absorbing]
+
+    # --------------------------------------------------------------- grid
+
+    def _build_conn(self) -> np.ndarray:
+        grids = np.meshgrid(
+            *[np.arange(n) for n in self.shape], indexing="ij"
+        )
+        base = np.stack([g.ravel() for g in grids], axis=1)  # (nelem, d)
+        nn = 1 << self.d
+        conn = np.empty((self.nelem, nn), dtype=np.int64)
+        for k in range(nn):
+            corner = base + np.array(
+                [(k >> a) & 1 for a in range(self.d)], dtype=np.int64
+            )
+            conn[:, k] = np.ravel_multi_index(
+                tuple(corner.T), self.node_shape
+            )
+        return conn
+
+    def node_coords(self) -> np.ndarray:
+        """Physical node coordinates ``(nnode, d)`` (z down)."""
+        grids = np.meshgrid(
+            *[np.arange(n + 1) for n in self.shape], indexing="ij"
+        )
+        return np.stack([g.ravel() for g in grids], axis=1) * self.h
+
+    def elem_centers(self) -> np.ndarray:
+        grids = np.meshgrid(*[np.arange(n) for n in self.shape], indexing="ij")
+        return (np.stack([g.ravel() for g in grids], axis=1) + 0.5) * self.h
+
+    def node_index(self, multi: Sequence[int]) -> int:
+        return int(np.ravel_multi_index(tuple(multi), self.node_shape))
+
+    def surface_nodes(self) -> np.ndarray:
+        """Node indices on the free surface (z = 0)."""
+        idx = np.arange(self.nnode).reshape(self.node_shape)
+        return idx[..., 0].ravel() if self.d >= 2 else idx
+
+    def _boundary_face(self, axis: int, side: int):
+        """(elem_ids, face_node_ids) of a boundary plane."""
+        eidx = np.arange(self.nelem).reshape(self.shape)
+        sl = [slice(None)] * self.d
+        sl[axis] = 0 if side == 0 else self.shape[axis] - 1
+        elems = eidx[tuple(sl)].ravel()
+        local = [k for k in range(1 << self.d) if ((k >> axis) & 1) == side]
+        return elems, self.conn[np.ix_(elems, local)]
+
+    # ----------------------------------------------------------- operators
+
+    def apply_K(self, mu: np.ndarray, u: np.ndarray) -> np.ndarray:
+        """Stiffness action ``K(mu) u`` for per-element ``mu``."""
+        coef = np.asarray(mu, dtype=float) * self.h ** (self.d - 2)
+        U = u[self.conn]
+        Y = (U @ self.K_ref.T) * coef[:, None]
+        return np.bincount(self._conn_flat, weights=Y.ravel(), minlength=self.nnode)
+
+    def K_diagonal(self, mu: np.ndarray) -> np.ndarray:
+        coef = np.asarray(mu, dtype=float) * self.h ** (self.d - 2)
+        D = coef[:, None] * np.diag(self.K_ref)[None, :]
+        return np.bincount(self._conn_flat, weights=D.ravel(), minlength=self.nnode)
+
+    def K_material_gradient(
+        self, u: np.ndarray, lam: np.ndarray
+    ) -> np.ndarray:
+        """Per-element ``lam^T (dK/dmu_e) u = h^{d-2} lam_e^T K_ref u_e``."""
+        U = u[self.conn]
+        L = lam[self.conn]
+        return self.h ** (self.d - 2) * np.einsum(
+            "ei,ij,ej->e", L, self.K_ref, U
+        )
+
+    def K_material_gradient_batch(
+        self, u: np.ndarray, lam: np.ndarray
+    ) -> np.ndarray:
+        """Time-batched :meth:`K_material_gradient`: ``u``/``lam`` have
+        shape ``(nt, nnode)``; returns the per-element sum over time."""
+        U = u[:, self.conn]
+        L = lam[:, self.conn]
+        return self.h ** (self.d - 2) * np.einsum(
+            "tei,ij,tej->e", L, self.K_ref, U
+        )
+
+    def C_material_gradient_batch(
+        self, w: np.ndarray, lam: np.ndarray, mu: np.ndarray
+    ) -> np.ndarray:
+        """Time-batched :meth:`C_material_gradient` (summed over time)."""
+        mu = np.asarray(mu, dtype=float)
+        g = np.zeros(self.nelem)
+        ww = self.h ** (self.d - 1) / (1 << (self.d - 1))
+        for elems, fnodes in self._boundary:
+            dcdmu = 0.5 * np.sqrt(self.rho / mu[elems]) * ww
+            contrib = np.einsum("tsf,tsf->s", lam[:, fnodes], w[:, fnodes])
+            np.add.at(g, elems, dcdmu * contrib)
+        return g
+
+    def damping_diag(self, mu: np.ndarray) -> np.ndarray:
+        """Lumped absorbing damping: ``sqrt(rho mu_e) * h^{d-1} / 2^{d-1}``
+        per face corner, accumulated over absorbing planes."""
+        mu = np.asarray(mu, dtype=float)
+        C = np.zeros(self.nnode)
+        w = self.h ** (self.d - 1) / (1 << (self.d - 1))
+        for elems, fnodes in self._boundary:
+            c = np.sqrt(self.rho * mu[elems]) * w
+            np.add.at(C, fnodes.ravel(), np.repeat(c, fnodes.shape[1]))
+        return C
+
+    def volume_damping_diag(self, alpha: np.ndarray) -> np.ndarray:
+        """Lumped mass-proportional (Rayleigh ``alpha M``) attenuation:
+        per-element damping ratios deposit ``alpha_e rho h^d / 2^d`` at
+        each corner.  Linear in ``alpha`` (so its material derivative is
+        the constant lumping stencil)."""
+        alpha = np.asarray(alpha, dtype=float)
+        nn = 1 << self.d
+        w = self.rho * self.h**self.d / nn
+        return np.bincount(
+            self._conn_flat,
+            weights=np.repeat(alpha * w, nn),
+            minlength=self.nnode,
+        )
+
+    def alpha_material_gradient_batch(
+        self, w_field: np.ndarray, adj: np.ndarray
+    ) -> np.ndarray:
+        """Per-element ``sum_t adj^T (dC/dalpha_e) w`` for time-batched
+        nodal fields ``(nt, nnode)``."""
+        nn = 1 << self.d
+        lump = self.rho * self.h**self.d / nn
+        contrib = np.einsum(
+            "tef,tef->e", adj[:, self.conn], w_field[:, self.conn]
+        )
+        return lump * contrib
+
+    def damping_diag_perturbation(
+        self, mu: np.ndarray, dmu: np.ndarray
+    ) -> np.ndarray:
+        """Directional derivative of :meth:`damping_diag`:
+        ``(dC/dmu) dmu`` as a nodal diagonal."""
+        mu = np.asarray(mu, dtype=float)
+        dmu = np.asarray(dmu, dtype=float)
+        out = np.zeros(self.nnode)
+        w = self.h ** (self.d - 1) / (1 << (self.d - 1))
+        for elems, fnodes in self._boundary:
+            dc = 0.5 * np.sqrt(self.rho / mu[elems]) * w * dmu[elems]
+            np.add.at(out, fnodes.ravel(), np.repeat(dc, fnodes.shape[1]))
+        return out
+
+    def C_material_gradient(
+        self, w_field: np.ndarray, lam: np.ndarray, mu: np.ndarray
+    ) -> np.ndarray:
+        """Per-element ``lam^T (dC/dmu_e) w`` (nonzero only on absorbing
+        boundary elements): ``dC/dmu_e = 0.5 sqrt(rho/mu_e) * lumping``."""
+        mu = np.asarray(mu, dtype=float)
+        g = np.zeros(self.nelem)
+        w = self.h ** (self.d - 1) / (1 << (self.d - 1))
+        for elems, fnodes in self._boundary:
+            dcdmu = 0.5 * np.sqrt(self.rho / mu[elems]) * w
+            contrib = np.sum(lam[fnodes] * w_field[fnodes], axis=1)
+            np.add.at(g, elems, dcdmu * contrib)
+        return g
+
+    def plane_wave_injection(
+        self,
+        mu: np.ndarray,
+        incident_velocity: Callable[[np.ndarray], np.ndarray],
+        dt: float,
+        *,
+        axis: int | None = None,
+        side: int = 1,
+    ) -> Callable[[int], np.ndarray]:
+        """Forcing that injects a plane wave through an absorbing face.
+
+        With a Lysmer dashpot on the boundary, an incident wave of
+        particle velocity ``v_inc(t)`` entering through face
+        ``(axis, side)`` is realized by the standard traction
+        ``2 sqrt(rho mu) v_inc`` applied on the face (the factor 2
+        compensates the dashpot absorbing half of it).  Used by the
+        layer-over-halfspace verification against the Haskell transfer
+        function.
+
+        Returns a ``forcing(k)`` callable for :meth:`march` (includes
+        the ``dt^2`` scaling).
+        """
+        axis = self.d - 1 if axis is None else axis
+        if (axis, side) not in self.absorbing:
+            raise ValueError("plane waves must enter through an absorbing face")
+        mu = np.asarray(mu, dtype=float)
+        elems, fnodes = self._boundary[self.absorbing.index((axis, side))]
+        w = self.h ** (self.d - 1) / (1 << (self.d - 1))
+        coef = 2.0 * np.sqrt(self.rho * mu[elems]) * w  # per face element
+        flat = fnodes.ravel()
+        amp = np.repeat(coef, fnodes.shape[1])
+
+        def forcing(k: int) -> np.ndarray:
+            v = float(incident_velocity(k * dt))
+            out = np.zeros(self.nnode)
+            if v != 0.0:
+                np.add.at(out, flat, dt**2 * amp * v)
+            return out
+
+        return forcing
+
+    # ---------------------------------------------------------- leapfrog
+
+    def stable_dt(self, mu: np.ndarray, *, safety: float = 0.5) -> float:
+        vmax = float(np.sqrt(np.max(mu) / self.rho))
+        return safety * self.h / (vmax * np.sqrt(self.d))
+
+    def march(
+        self,
+        mu: np.ndarray,
+        forcing: Callable[[int], np.ndarray | None],
+        nsteps: int,
+        dt: float,
+        *,
+        store: bool = True,
+        on_step: Callable[[int, np.ndarray], None] | None = None,
+        x0: np.ndarray | None = None,
+        x1: np.ndarray | None = None,
+        alpha: np.ndarray | None = None,
+    ) -> np.ndarray | None:
+        """Run the leapfrog ``A+ x^{k+1} = (2M - dt^2 K) x^k - A- x^{k-1}
+        + f^k``; ``forcing(k)`` supplies ``f^k`` (may be None).
+
+        Starts from rest unless initial states ``(x0, x1)`` are given
+        (used by verification tests and checkpoint restarts).  ``alpha``
+        adds per-element mass-proportional attenuation.  Returns the
+        state history ``(nsteps + 1, nnode)`` when ``store``, else the
+        final two states stacked as ``(2, nnode)``.
+        """
+        C = self.damping_diag(mu)
+        if alpha is not None:
+            C = C + self.volume_damping_diag(alpha)
+        a_plus = self.m + 0.5 * dt * C
+        a_minus = self.m - 0.5 * dt * C
+        x_prev = np.zeros(self.nnode) if x0 is None else np.asarray(x0, float).copy()
+        x = np.zeros(self.nnode) if x1 is None else np.asarray(x1, float).copy()
+        hist = np.zeros((nsteps + 1, self.nnode)) if store else None
+        if store:
+            hist[0] = x_prev
+            hist[1] = x
+        if on_step is not None:
+            on_step(0, x_prev)
+            on_step(1, x)
+        for k in range(1, nsteps):
+            f = forcing(k)
+            r = 2.0 * self.m * x - dt**2 * self.apply_K(mu, x) - a_minus * x_prev
+            if f is not None:
+                r = r + f
+            x_next = r / a_plus
+            if store:
+                hist[k + 1] = x_next
+            if on_step is not None:
+                on_step(k + 1, x_next)
+            x_prev, x = x, x_next
+        if store:
+            return hist
+        return np.stack([x_prev, x])

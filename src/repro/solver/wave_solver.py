@@ -1,0 +1,230 @@
+"""Explicit octree hexahedral elastic wave solver (paper eq. 2.4-2.5).
+
+The semi-discrete system is
+
+    ``M u'' + (C_AB + alpha M + beta K) u' + (K + K_AB) u = b``
+
+with lumped mass ``M``, elementwise Rayleigh coefficients
+``(alpha, beta)``, and Stacey absorbing boundary matrices ``C_AB``
+(lumped) and ``K_AB`` (sparse ``c1`` coupling).  Central differences
+with the diagonal/off-diagonal splitting of eq. (2.4) give the explicit
+update; hanging-node continuity is restored each step by the projection
+``B^T A B ubar = B^T b`` of eq. (2.5), which preserves diagonality.
+
+Per step the solver performs one stiffness matvec (plus one
+``beta``-weighted matvec when attenuation is on, with the previous
+step's product cached), a sparse boundary product, and vector updates —
+work linear in the number of grid points, as the paper requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.fem.assembly import ElasticOperator, lumped_mass
+from repro.fem.damping import rayleigh_coefficients
+from repro.io.seismogram import ReceiverArray, Seismograms
+from repro.io.snapshots import SnapshotRecorder
+from repro.mesh.hanging import HangingNodeInfo, build_constraints
+from repro.mesh.hexmesh import HexMesh
+from repro.octree.linear_octree import LinearOctree
+from repro.physics.cfl import stable_timestep
+from repro.physics.elastic import lame_from_velocities
+from repro.physics.stacey import stacey_boundary_matrices, stacey_coefficients
+from repro.util.flops import FlopCounter
+
+#: absorbing boundary planes: all four sides plus the bottom;
+#: the free surface is (2, 0) — the z = 0 plane
+DEFAULT_ABSORBING = ((0, 0), (0, 1), (1, 0), (1, 1), (2, 1))
+
+
+class ElasticWaveSolver:
+    """Explicit elastodynamics on an octree hexahedral mesh.
+
+    Parameters
+    ----------
+    mesh / tree:
+        The mesh and the balanced octree it came from (for constraints
+        and source location).
+    material:
+        Object with ``query(points_m) -> (vs, vp, rho)``.
+    damping_ratio:
+        Target Rayleigh damping ratio (0 disables attenuation).
+    damping_band:
+        ``(f_min, f_max)`` Hz band for the least-squares Rayleigh fit.
+    absorbing:
+        Iterable of ``(axis, side)`` absorbing planes.
+    stacey_c1:
+        Include the tangential-derivative ``c1`` terms of Stacey's
+        condition (False = Lysmer viscous boundary).
+    dt:
+        Time step; defaults to the CFL-stable step.
+    constraints:
+        Precomputed :class:`HangingNodeInfo` (else built here).
+    """
+
+    def __init__(
+        self,
+        mesh: HexMesh,
+        tree: LinearOctree,
+        material,
+        *,
+        damping_ratio: float = 0.0,
+        damping_band: tuple[float, float] = (0.1, 1.0),
+        absorbing: Sequence[tuple[int, int]] = DEFAULT_ABSORBING,
+        stacey_c1: bool = True,
+        dt: float | None = None,
+        cfl_safety: float = 0.5,
+        constraints: HangingNodeInfo | None = None,
+    ):
+        self.mesh = mesh
+        self.tree = tree
+        vs, vp, rho = material.query(mesh.elem_centers)
+        lam, mu = lame_from_velocities(vs, vp, rho)
+        self.lam, self.mu, self.rho = lam, mu, rho
+        self.vs, self.vp = np.asarray(vs, float), np.asarray(vp, float)
+        h = mesh.elem_h
+
+        self.K = ElasticOperator(mesh.conn, h, lam, mu, mesh.nnode)
+        self.m = lumped_mass(mesh.conn, h, rho, mesh.nnode)  # (nnode,)
+
+        # Rayleigh attenuation, fit per element over the band
+        if damping_ratio > 0:
+            alpha_e, beta_e = rayleigh_coefficients(
+                np.full(mesh.nelem, float(damping_ratio)), *damping_band
+            )
+            self.Kb = ElasticOperator(
+                mesh.conn, h, lam * beta_e, mu * beta_e, mesh.nnode
+            )
+            self.m_alpha = lumped_mass(mesh.conn, h, rho * alpha_e, mesh.nnode)
+        else:
+            self.Kb = None
+            self.m_alpha = np.zeros(mesh.nnode)
+
+        # Stacey absorbing boundaries
+        faces = []
+        for axis, side in absorbing:
+            idx, fnodes = mesh.boundary_faces(axis, side)
+            coeffs = stacey_coefficients(lam[idx], mu[idx], rho[idx])
+            faces.append((fnodes, mesh.elem_h[idx], axis, side, coeffs))
+        self.C_diag, self.K_AB = stacey_boundary_matrices(
+            faces, mesh.nnode, include_c1=stacey_c1
+        )
+        self._has_kab = self.K_AB.nnz > 0
+
+        # hanging-node constraints
+        self.constraints = (
+            constraints
+            if constraints is not None
+            else build_constraints(tree, mesh)
+        )
+        B = self.constraints.B
+        self.B = B.tocsr()
+        self.BT = B.T.tocsr()
+
+        self.dt = dt if dt is not None else stable_timestep(
+            h, vp, safety=cfl_safety
+        )
+        dt_ = self.dt
+        # LHS diagonal of eq. (2.4)
+        A = (self.m + 0.5 * dt_ * self.m_alpha)[:, None] + 0.5 * dt_ * self.C_diag
+        if self.Kb is not None:
+            A = A + 0.5 * dt_ * self.Kb.diagonal()
+        self.A = A
+        # row-sum (lumped) projection of the diagonal LHS: hanging-node
+        # mass is distributed to the masters by the constraint weights,
+        # which conserves mass and "preserves the diagonality of A"
+        self.A_bar = self.BT @ A
+        self.flops = FlopCounter()
+
+    @property
+    def nnode(self) -> int:
+        return self.mesh.nnode
+
+    def memory_bytes(self) -> int:
+        """Solver working-set estimate (the paper's ~10x hex-vs-tet
+        memory claim is measured from this and the tet counterpart)."""
+        n = 0
+        n += self.mesh.conn.nbytes
+        n += 8 * (2 * self.mesh.nelem)  # material coefficient vectors
+        n += 8 * 3 * self.nnode * 5  # u_prev, u, u_next, rhs, cached Kb u
+        n += 8 * self.nnode * 2  # masses
+        n += self.A.nbytes
+        return n
+
+    def run(
+        self,
+        forces: Callable[[float, np.ndarray], np.ndarray] | object,
+        t_end: float,
+        *,
+        receivers: ReceiverArray | None = None,
+        snapshots: SnapshotRecorder | None = None,
+        record: str = "velocity",
+        callback: Callable[[int, float, np.ndarray], None] | None = None,
+    ) -> Seismograms | None:
+        """March the wave equation from rest to ``t_end``.
+
+        ``forces`` is either a callable ``forces(t, out) -> (nnode, 3)``
+        or a :class:`repro.sources.fault.SourceCollection`.
+        """
+        dt = self.dt
+        nsteps = int(np.ceil(t_end / dt))
+        nnode = self.nnode
+        m = self.m[:, None]
+        m_alpha = self.m_alpha[:, None]
+        u_prev = np.zeros((nnode, 3))
+        u = np.zeros((nnode, 3))
+        if hasattr(forces, "forces_at"):
+            force_fn = lambda t, out: forces.forces_at(t, out)
+        else:
+            force_fn = forces
+        fbuf = np.zeros((nnode, 3))
+
+        data = receivers.allocate(3, nsteps) if receivers is not None else None
+        kb_u_prev = np.zeros((nnode, 3))  # beta K u^{k-1}, cached
+
+        for k in range(nsteps):
+            t = k * dt
+            Ku = self.K.matvec(u)
+            self.flops.add("stiffness", self.K.flops_per_matvec)
+            r = 2.0 * m * u - dt**2 * Ku
+            if self._has_kab:
+                r -= dt**2 * (self.K_AB @ u.ravel()).reshape(nnode, 3)
+            if self.Kb is not None:
+                kb_u = self.Kb.matvec(u)
+                self.flops.add("stiffness", self.Kb.flops_per_matvec)
+                kb_diag_u = self.Kb.diagonal() * u
+                r -= 0.5 * dt * (kb_u - kb_diag_u)
+                r += 0.5 * dt * kb_u_prev
+                kb_u_prev, kb_u = kb_u, kb_u_prev
+            r += (0.5 * dt * m_alpha - m) * u_prev
+            r += 0.5 * dt * self.C_diag * u_prev
+            b = force_fn(t, fbuf)
+            if b is not None:
+                r += dt**2 * b
+            # hanging-node projection keeps the update explicit (2.5)
+            r_bar = self.BT @ r
+            u_next = self.B @ (r_bar / self.A_bar)
+            self.flops.add("update", 12 * nnode)
+
+            if receivers is not None:
+                if record == "velocity":
+                    data[:, :, k] = (u_next - u_prev)[receivers.nodes] / (
+                        2.0 * dt
+                    )
+                else:
+                    data[:, :, k] = u[receivers.nodes]
+            if snapshots is not None:
+                snapshots.maybe_record(k, t, u)
+            if callback is not None:
+                callback(k, t, u)
+            u_prev, u, u_next = u, u_next, u_prev
+
+        if receivers is None:
+            return None
+        return Seismograms(
+            data=data, dt=dt, kind=record, positions=receivers.positions
+        )

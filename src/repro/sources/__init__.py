@@ -1,0 +1,36 @@
+"""Earthquake source models (paper Sections 2.1 and 3.1, Figure 3.1).
+
+The seismic source is a set of body forces that equilibrate an induced
+displacement dislocation on a fault plane.  Each fault point carries a
+dislocation (slip) function ``g(t; T, t0)`` whose time derivative is a
+hat (isosceles-triangle) function: zero before the delay time ``T``,
+rising to full slip over the rise time ``t0``.  Analytic ``dg/dT`` and
+``dg/dt0`` support the source inversion.
+"""
+
+from repro.sources.slip import slip_function, slip_rate, dslip_dT, dslip_dt0
+from repro.sources.fault import (
+    MomentTensorSource,
+    double_couple_moment,
+    nodal_forces_for_point_source,
+)
+from repro.sources.scenarios import (
+    FiniteFaultScenario,
+    idealized_northridge,
+    idealized_strike_slip,
+    moment_magnitude,
+)
+
+__all__ = [
+    "slip_function",
+    "slip_rate",
+    "dslip_dT",
+    "dslip_dt0",
+    "MomentTensorSource",
+    "double_couple_moment",
+    "nodal_forces_for_point_source",
+    "FiniteFaultScenario",
+    "idealized_northridge",
+    "idealized_strike_slip",
+    "moment_magnitude",
+]

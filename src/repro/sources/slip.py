@@ -1,0 +1,67 @@
+"""Dislocation (slip) time functions — paper Figure 3.1.
+
+``g(t; T, t0)`` rises from 0 to 1 starting at the delay time ``T`` over
+the rise time ``t0``; its derivative is an isosceles triangle of base
+``t0`` (peak ``2/t0``, unit area).  Piecewise:
+
+    tau = t - T
+    g = 0                          for tau <= 0
+    g = 2 tau^2 / t0^2             for 0 <= tau <= t0/2
+    g = 1 - 2 (t0 - tau)^2 / t0^2  for t0/2 <= tau <= t0
+    g = 1                          for tau >= t0
+
+All functions broadcast over ``t``, ``T`` and ``t0`` and are exact
+(including the analytic parameter derivatives used by the source
+inversion adjoint).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _tau(t, T):
+    return np.asarray(t, dtype=float) - np.asarray(T, dtype=float)
+
+
+def slip_function(t, T, t0):
+    """Normalized slip ``g(t; T, t0)`` in [0, 1]."""
+    tau = _tau(t, T)
+    t0 = np.asarray(t0, dtype=float)
+    first = 2.0 * tau**2 / t0**2
+    second = 1.0 - 2.0 * (t0 - tau) ** 2 / t0**2
+    g = np.where(tau <= 0, 0.0, np.where(tau <= t0 / 2, first,
+                 np.where(tau <= t0, second, 1.0)))
+    return g
+
+
+def slip_rate(t, T, t0):
+    """``dg/dt``: the isosceles-triangle slip velocity (unit area)."""
+    tau = _tau(t, T)
+    t0 = np.asarray(t0, dtype=float)
+    up = 4.0 * tau / t0**2
+    down = 4.0 * (t0 - tau) / t0**2
+    return np.where(
+        (tau <= 0) | (tau >= t0), 0.0, np.where(tau <= t0 / 2, up, down)
+    )
+
+
+def dslip_dT(t, T, t0):
+    """``dg/dT = -dg/dt`` (shifting the onset later delays the slip)."""
+    return -slip_rate(t, T, t0)
+
+
+def dslip_dt0(t, T, t0):
+    """``dg/dt0``, analytic.
+
+    For ``0 < tau < t0/2``:  ``-4 tau^2 / t0^3``;
+    for ``t0/2 < tau < t0``: ``-4 (t0 - tau)/t0^2 + 4 (t0-tau)^2/t0^3``;
+    zero otherwise.
+    """
+    tau = _tau(t, T)
+    t0 = np.asarray(t0, dtype=float)
+    first = -4.0 * tau**2 / t0**3
+    second = -4.0 * (t0 - tau) / t0**2 + 4.0 * (t0 - tau) ** 2 / t0**3
+    return np.where(
+        (tau <= 0) | (tau >= t0), 0.0, np.where(tau <= t0 / 2, first, second)
+    )

@@ -1,0 +1,7 @@
+"""Utilities: filtering, timing, flop accounting."""
+
+from repro.util.filters import lowpass
+from repro.util.timing import Timer
+from repro.util.flops import FlopCounter
+
+__all__ = ["lowpass", "Timer", "FlopCounter"]

@@ -1,0 +1,21 @@
+"""Zero-phase low-pass filtering for seismogram comparisons (Fig 2.4)."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import signal
+
+
+def lowpass(
+    x: np.ndarray, dt: float, f_cut: float, *, order: int = 4, axis: int = -1
+) -> np.ndarray:
+    """Zero-phase Butterworth low-pass at ``f_cut`` Hz.
+
+    Applies :func:`scipy.signal.filtfilt` (forward-backward, so no phase
+    shift — essential when comparing waveforms from different codes).
+    """
+    nyq = 0.5 / dt
+    if not 0 < f_cut < nyq:
+        raise ValueError(f"f_cut must lie in (0, {nyq}) Hz for dt={dt}")
+    b, a = signal.butter(order, f_cut / nyq)
+    return signal.filtfilt(b, a, np.asarray(x, dtype=float), axis=axis)

@@ -1,0 +1,29 @@
+"""Floating-point operation accounting.
+
+The scalability study (Table 2.1) reports sustained flop rates; since
+we run a numpy prototype, we *count* the arithmetic the algorithm
+performs (exactly, from the operation shapes) and let the machine model
+convert counts to AlphaServer wall time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class FlopCounter:
+    """Accumulates floating point operations by category."""
+
+    counts: dict = field(default_factory=dict)
+
+    def add(self, category: str, flops: int) -> None:
+        self.counts[category] = self.counts.get(category, 0) + int(flops)
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def merge(self, other: "FlopCounter") -> None:
+        for k, v in other.counts.items():
+            self.add(k, v)

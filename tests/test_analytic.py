@@ -1,0 +1,145 @@
+"""Verification against closed-form solutions (the Figure 2.2 role)."""
+
+import numpy as np
+import pytest
+
+from repro.analytic import (
+    fundamental_frequency,
+    layer_halfspace_transfer,
+    sh_reflection_transmission,
+    stokes_point_force,
+)
+from repro.solver import RegularGridScalarWave
+
+
+class TestClosedForms:
+    def test_rt_energy_consistency(self):
+        """1 + R = T (displacement continuity at the interface)."""
+        R, T = sh_reflection_transmission(1800.0, 500.0, 2500.0, 3000.0)
+        np.testing.assert_allclose(1.0 + R, T)
+        assert -1 < R < 0  # soft-to-hard: phase flip
+
+    def test_transfer_peaks_at_resonance(self):
+        H, vs1, rho1 = 200.0, 400.0, 1800.0
+        vs2, rho2 = 2000.0, 2500.0
+        f0 = fundamental_frequency(H, vs1)
+        f = np.linspace(0.05, 3.0, 2000)
+        A = layer_halfspace_transfer(f, H, vs1, rho1, vs2, rho2)
+        fpeak = f[np.argmax(A)]
+        np.testing.assert_allclose(fpeak, f0, rtol=0.02)
+        # peak amplification = 2 Z2/Z1... for lossless: 2/(Z1/Z2)
+        np.testing.assert_allclose(
+            A.max(), 2.0 * (rho2 * vs2) / (rho1 * vs1), rtol=0.01
+        )
+
+    def test_uniform_halfspace_amplification_is_two(self):
+        """No impedance contrast: free-surface doubling only."""
+        A = layer_halfspace_transfer(
+            np.array([0.5, 1.0, 2.0]), 100.0, 1000.0, 2000.0, 1000.0, 2000.0
+        )
+        np.testing.assert_allclose(A, 2.0)
+
+
+class TestInterfacePulseAgainstSimulation:
+    def test_reflection_coefficient_in_simulation(self):
+        """A quasi-1D two-layer column: the simulated reflected pulse
+        amplitude matches R = (Z1 - Z2)/(Z1 + Z2)."""
+        rho = 2000.0
+        vs1, vs2 = 1000.0, 2500.0
+        n = 128
+        L = 4000.0
+        h = L / n
+        s = RegularGridScalarWave((n, 2), h, rho, absorbing=[(0, 0), (0, 1)])
+        centers = s.elem_centers()
+        mu = np.where(centers[:, 0] < L / 2, rho * vs1**2, rho * vs2**2)
+        dt = s.stable_dt(mu)
+        x = s.node_coords()[:, 0]
+        # rightward pulse in medium 1
+        g = lambda xx: np.exp(-(((xx - 800.0) / 120.0) ** 2))
+        hist = s.march(
+            mu,
+            lambda k: None,
+            int(1.1 * (L / 2) / vs1 / dt),
+            dt,
+            store=True,
+            x0=g(x),
+            x1=g(x - vs1 * dt),
+        )
+        # after reflection, measure amplitude of the leftward pulse in
+        # medium 1 (take the extremum in the left half at final time)
+        left = hist[-1][x < 1500.0]
+        R, T = sh_reflection_transmission(rho, vs1, rho, vs2)
+        refl_amp = left[np.argmax(np.abs(left))]
+        np.testing.assert_allclose(refl_amp, R, atol=0.05)
+
+
+class TestStokes:
+    def test_far_field_decay_rate(self):
+        """Far-field terms decay as 1/r."""
+        def force(t):
+            return np.where(t > 0, np.sin(8 * np.pi * np.clip(t, 0, 0.25)) ** 2, 0.0)
+
+        t = np.linspace(0, 3.0, 800)
+        rho, vp, vs = 2000.0, 2000.0, 1000.0
+        u1 = stokes_point_force(
+            np.array([800.0, 0, 0]), t, force, np.array([0, 0, 1.0]),
+            rho=rho, vp=vp, vs=vs,
+        )
+        u2 = stokes_point_force(
+            np.array([1600.0, 0, 0]), t, force, np.array([0, 0, 1.0]),
+            rho=rho, vp=vp, vs=vs,
+        )
+        a1 = np.abs(u1).max()
+        a2 = np.abs(u2).max()
+        np.testing.assert_allclose(a1 / a2, 2.0, rtol=0.25)
+
+    def test_s_wave_arrival_transverse(self):
+        """A force transverse to the receiver direction arrives at the S
+        time with (far-field) transverse polarization."""
+        def force(t):
+            return np.where(
+                (t > 0) & (t < 0.1), np.sin(np.pi * np.clip(t, 0, 0.1) / 0.1) ** 2, 0.0
+            )
+
+        rho, vp, vs = 2000.0, 2000.0, 1000.0
+        r = 1000.0
+        t = np.linspace(0, 2.0, 2000)
+        u = stokes_point_force(
+            np.array([r, 0, 0]), t, force, np.array([0, 0, 1.0]),
+            rho=rho, vp=vp, vs=vs,
+        )
+        uz = np.abs(u[:, 2])
+        # main S pulse peaks shortly after r/vs = 1.0
+        t_peak = t[np.argmax(uz)]
+        assert 1.0 < t_peak < 1.15
+
+    def test_longitudinal_force_p_dominant(self):
+        def force(t):
+            return np.where(
+                (t > 0) & (t < 0.1), np.sin(np.pi * np.clip(t, 0, 0.1) / 0.1) ** 2, 0.0
+            )
+
+        rho, vp, vs = 2000.0, 2000.0, 1000.0
+        r = 1000.0
+        t = np.linspace(0, 2.0, 2000)
+        u = stokes_point_force(
+            np.array([r, 0, 0]), t, force, np.array([1.0, 0, 0]),
+            rho=rho, vp=vp, vs=vs,
+        )
+        ux = np.abs(u[:, 0])
+        # radial component: a clear pulse around r/vp = 0.5
+        window_p = (t > 0.45) & (t < 0.65)
+        assert ux[window_p].max() > 0.5 * ux.max()
+        np.testing.assert_allclose(np.abs(u[:, 1]).max(), 0.0, atol=1e-12)
+
+    def test_receiver_at_origin_rejected(self):
+        with pytest.raises(ValueError):
+            stokes_point_force(
+                np.zeros(3),
+                np.linspace(0, 1, 10),
+                lambda t: np.zeros_like(t),
+                np.array([1.0, 0, 0]),
+                rho=1.0,
+                vp=2.0,
+                vs=1.0,
+            )

@@ -1,0 +1,76 @@
+"""Stateful property test: the B-tree against a dict reference model."""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.etree import BTree
+
+KEYS = st.integers(min_value=0, max_value=10_000)
+
+
+class BTreeModel(RuleBasedStateMachine):
+    """Random insert/replace/delete/lookup sequences with a tiny page
+    size and cache (maximizing splits and evictions) must behave like a
+    dict."""
+
+    def __init__(self):
+        super().__init__()
+        import tempfile
+
+        self.dir = tempfile.TemporaryDirectory()
+        self.tree = BTree(
+            f"{self.dir.name}/t.btree",
+            record_size=8,
+            page_size=256,
+            cache_pages=4,
+        )
+        self.model: dict[int, bytes] = {}
+
+    def record_for(self, key: int, salt: int) -> bytes:
+        return ((key * 1_000_003 + salt) % 2**64).to_bytes(8, "little")
+
+    @rule(key=KEYS, salt=st.integers(0, 7))
+    def insert(self, key, salt):
+        rec = self.record_for(key, salt)
+        self.tree.insert(key, rec)
+        self.model[key] = rec
+
+    @rule(key=KEYS)
+    def delete(self, key):
+        present = key in self.model
+        assert self.tree.delete(key) == present
+        self.model.pop(key, None)
+
+    @rule(key=KEYS)
+    def lookup(self, key):
+        assert self.tree.get(key) == self.model.get(key)
+
+    @invariant()
+    def length_matches(self):
+        assert len(self.tree) == len(self.model)
+
+    @invariant()
+    def scan_is_sorted_and_complete(self):
+        items = list(self.tree.range_scan())
+        keys = [k for k, _ in items]
+        assert keys == sorted(self.model)
+        for k, rec in items:
+            assert rec == self.model[k]
+
+    def teardown(self):
+        self.tree.close()
+        self.dir.cleanup()
+
+
+TestBTreeStateful = BTreeModel.TestCase
+TestBTreeStateful.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

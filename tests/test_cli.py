@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+def test_estimate_outputs_json(capsys):
+    rc = main(
+        [
+            "estimate",
+            "--L", "10000", "--fmax", "0.5", "--vs-min", "400",
+        ]
+    )
+    assert rc == 0
+    out = json.loads(capsys.readouterr().out)
+    assert out["elements"] > 0
+    assert out["work"] > out["elements"]
+
+
+def test_mesh_command(tmp_path, capsys):
+    rc = main(
+        [
+            "mesh",
+            "--L", "8000", "--fmax", "0.25", "--vs-min", "400",
+            "--h-min", "250",
+            "--workdir", str(tmp_path / "db"),
+            "--max-level", "5", "--blocks", "2",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "elements" in out and "node db" in out
+    assert (tmp_path / "db" / "elements.etree").exists()
+
+
+def test_forward_command_writes_npz(tmp_path, capsys):
+    out_file = tmp_path / "run.npz"
+    rc = main(
+        [
+            "forward",
+            "--L", "2000", "--fmax", "1.0", "--vs-min", "500",
+            "--h-min", "250", "--max-level", "4",
+            "--t-end", "0.5",
+            "--receivers", "[[1000, 1000, 0]]",
+            "--out", str(out_file),
+        ]
+    )
+    assert rc == 0
+    assert out_file.exists()
+    archive = np.load(out_file)
+    assert archive["data"].shape[0] == 1
+    assert np.isfinite(archive["data"]).all()
+    assert "PGV" in capsys.readouterr().out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

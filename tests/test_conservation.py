@@ -1,0 +1,126 @@
+"""Conservation and invariance properties of the explicit solvers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.materials import HomogeneousMaterial
+from repro.mesh import extract_mesh
+from repro.octree import build_adaptive_octree
+from repro.solver import ElasticWaveSolver, RegularGridScalarWave
+from repro.sources import moment_magnitude
+
+
+class TestScalarEnergyConservation:
+    def _energy_series(self, n=16, nsteps=400):
+        """Discrete energy of the undamped leapfrog on a closed box:
+        E^k+1/2 = 0.5 v^T M v + 0.5 u^{k+1,T} K u^k (the conserved
+        quantity of central differences)."""
+        L, rho, vs = 1000.0, 1000.0, 1000.0
+        s = RegularGridScalarWave((n, n), L / n, rho, absorbing=[])
+        mu = np.full(s.nelem, rho * vs**2)
+        dt = s.stable_dt(mu, safety=0.4)
+        x = s.node_coords()
+        u0 = np.exp(-np.sum((x - 500.0) ** 2, axis=1) / 150.0**2)
+        hist = s.march(mu, lambda k: None, nsteps, dt, store=True,
+                       x0=u0, x1=u0)
+        E = []
+        for k in range(1, nsteps):
+            v = (hist[k + 1] - hist[k]) / dt
+            kinetic = 0.5 * float(v @ (s.m * v))
+            potential = 0.5 * float(hist[k + 1] @ s.apply_K(mu, hist[k]))
+            E.append(kinetic + potential)
+        return np.array(E)
+
+    def test_closed_box_conserves_energy(self):
+        E = self._energy_series()
+        drift = np.abs(E - E[0]).max() / abs(E[0])
+        assert drift < 1e-9
+
+    def test_absorbing_boundaries_dissipate(self):
+        L, n, rho, vs = 1000.0, 16, 1000.0, 1000.0
+        s = RegularGridScalarWave((n, n), L / n, rho)
+        mu = np.full(s.nelem, rho * vs**2)
+        dt = s.stable_dt(mu, safety=0.4)
+        x = s.node_coords()
+        u0 = np.exp(-np.sum((x - 500.0) ** 2, axis=1) / 150.0**2)
+        hist = s.march(mu, lambda k: None, 400, dt, store=True, x0=u0, x1=u0)
+        # total field norm decays monotonically once waves reach the rim
+        norms = np.linalg.norm(hist, axis=1)
+        assert norms[-1] < 0.5 * norms[0]
+
+
+class TestElasticReciprocity:
+    def test_source_receiver_reciprocity(self):
+        """Green's function symmetry: force at A recorded at B equals
+        force at B recorded at A (same components)."""
+        from repro.io.seismogram import ReceiverArray
+        from repro.sources.fault import PointForceSource, SourceCollection
+
+        L, n = 1000.0, 8
+        mat = HomogeneousMaterial(vs=1000.0, vp=1800.0, rho=2000.0)
+        tree = build_adaptive_octree(
+            lambda c, s: np.full(len(c), 1.0 / n), max_level=4
+        )
+        mesh = extract_mesh(tree, L=L)
+        A = np.array([375.0, 375.0, 375.0])
+        B = np.array([625.0, 625.0, 500.0])
+        stf = lambda t: np.where((t > 0) & (t < 0.1),
+                                 np.sin(np.pi * np.clip(t, 0, 0.1) / 0.1) ** 2,
+                                 0.0) * 1e10
+        out = {}
+        for name, src_pos, rec_pos in (("AB", A, B), ("BA", B, A)):
+            solver = ElasticWaveSolver(mesh, tree, mat, stacey_c1=False)
+            src = PointForceSource(
+                position=src_pos, direction=np.array([0.0, 0.0, 1.0]),
+                time_function=stf,
+            )
+            rec = ReceiverArray(mesh, rec_pos[None, :])
+            seis = solver.run(
+                SourceCollection(mesh, tree, [src]),
+                0.6,
+                receivers=rec,
+                record="displacement",
+            )
+            out[name] = seis.data[0, 2]  # z at receiver from z force
+        scale = np.abs(out["AB"]).max()
+        np.testing.assert_allclose(out["AB"] / scale, out["BA"] / scale,
+                                   atol=5e-3)
+
+
+class TestMomentMagnitude:
+    def test_known_values(self):
+        # Northridge: M0 ~ 1.2e19 N m -> Mw ~ 6.7
+        np.testing.assert_allclose(moment_magnitude(1.2e19), 6.66, atol=0.05)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            moment_magnitude(0.0)
+
+    @settings(deadline=None, max_examples=20)
+    @given(st.floats(1e10, 1e22))
+    def test_monotone(self, m0):
+        assert moment_magnitude(2 * m0) > moment_magnitude(m0)
+
+
+class TestSeismogramIO:
+    def test_save_load_roundtrip(self, tmp_path):
+        from repro.io.seismogram import Seismograms
+
+        rng = np.random.default_rng(0)
+        s = Seismograms(
+            data=rng.standard_normal((2, 3, 50)),
+            dt=0.02,
+            kind="velocity",
+            positions=rng.random((2, 3)),
+        )
+        p = str(tmp_path / "seis.npz")
+        s.save(p)
+        t = Seismograms.load(p)
+        np.testing.assert_array_equal(t.data, s.data)
+        assert t.dt == s.dt and t.kind == s.kind
+        np.testing.assert_array_equal(t.positions, s.positions)
+        np.testing.assert_array_equal(
+            t.peak_ground_motion(), np.abs(s.data).max(axis=(1, 2))
+        )

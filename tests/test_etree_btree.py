@@ -1,0 +1,181 @@
+"""Tests for the on-disk B-tree storage engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.etree import BTree
+
+
+@pytest.fixture
+def path(tmp_path):
+    return str(tmp_path / "test.btree")
+
+
+def test_create_and_reopen(path):
+    with BTree(path, record_size=16) as t:
+        t.insert(42, b"x" * 16)
+    with BTree(path) as t:
+        assert t.record_size == 16
+        assert t.get(42) == b"x" * 16
+        assert len(t) == 1
+
+
+def test_missing_key_returns_none(path):
+    with BTree(path, record_size=8) as t:
+        t.insert(1, b"a" * 8)
+        assert t.get(2) is None
+        assert 1 in t
+        assert 2 not in t
+
+
+def test_wrong_record_size_rejected(path):
+    with BTree(path, record_size=8) as t:
+        with pytest.raises(ValueError):
+            t.insert(1, b"too long for record")
+
+
+def test_replace_existing(path):
+    with BTree(path, record_size=4) as t:
+        t.insert(7, b"aaaa")
+        t.insert(7, b"bbbb")
+        assert t.get(7) == b"bbbb"
+        assert len(t) == 1
+
+
+def test_duplicate_insert_no_replace_raises(path):
+    with BTree(path, record_size=4) as t:
+        t.insert(7, b"aaaa")
+        with pytest.raises(KeyError):
+            t.insert(7, b"bbbb", replace=False)
+
+
+def test_many_inserts_random_order_with_splits(path):
+    rng = np.random.default_rng(0)
+    keys = rng.permutation(5000).astype(np.uint64)
+    with BTree(path, record_size=8, page_size=512, cache_pages=8) as t:
+        for k in keys:
+            t.insert(int(k), int(k).to_bytes(8, "little"))
+        assert len(t) == 5000
+        assert t.height > 1
+    with BTree(path, cache_pages=8) as t:
+        for k in [0, 1, 2499, 4998, 4999]:
+            assert t.get(k) == k.to_bytes(8, "little")
+        got = t.keys()
+        np.testing.assert_array_equal(got, np.arange(5000, dtype=np.uint64))
+
+
+def test_range_scan_order_and_bounds(path):
+    with BTree(path, record_size=8, page_size=512) as t:
+        for k in [10, 5, 30, 20, 40]:
+            t.insert(k, k.to_bytes(8, "little"))
+        scanned = [k for k, _ in t.range_scan(10, 40)]
+        assert scanned == [10, 20, 30]
+        assert [k for k, _ in t.range_scan()] == [5, 10, 20, 30, 40]
+
+
+def test_delete(path):
+    with BTree(path, record_size=8, page_size=512) as t:
+        for k in range(200):
+            t.insert(k, k.to_bytes(8, "little"))
+        assert t.delete(100)
+        assert not t.delete(100)
+        assert t.get(100) is None
+        assert len(t) == 199
+        assert [k for k, _ in t.range_scan(99, 102)] == [99, 101]
+
+
+def test_bulk_load_and_lookup(path):
+    n = 10000
+    keys = np.arange(0, 3 * n, 3, dtype=np.uint64)
+    recs = np.zeros((n, 8), dtype=np.uint8)
+    recs[:, 0] = np.arange(n) % 251
+    with BTree(path, record_size=8, page_size=512, cache_pages=16) as t:
+        t.bulk_load(keys, recs)
+        assert len(t) == n
+    with BTree(path, cache_pages=16) as t:
+        assert t.get(0) == bytes(recs[0])
+        assert t.get(3 * (n - 1)) == bytes(recs[n - 1])
+        assert t.get(1) is None
+        np.testing.assert_array_equal(t.keys(), keys)
+
+
+def test_bulk_load_requires_sorted(path):
+    with BTree(path, record_size=8) as t:
+        with pytest.raises(ValueError):
+            t.bulk_load(np.array([3, 1], dtype=np.uint64), np.zeros((2, 8), np.uint8))
+
+
+def test_bulk_load_requires_empty(path):
+    with BTree(path, record_size=8) as t:
+        t.insert(1, b"x" * 8)
+        with pytest.raises(ValueError):
+            t.bulk_load(np.array([5], dtype=np.uint64), np.zeros((1, 8), np.uint8))
+
+
+def test_streaming_bulk_loader_chunks(path):
+    with BTree(path, record_size=8, page_size=512, cache_pages=8) as t:
+        with t.bulk_loader() as loader:
+            for start in range(0, 3000, 100):
+                ks = np.arange(start, start + 100, dtype=np.uint64)
+                rs = np.zeros((100, 8), dtype=np.uint8)
+                rs[:, 0] = ks % 256
+                loader.append(ks, rs)
+        assert len(t) == 3000
+        np.testing.assert_array_equal(t.keys(), np.arange(3000, dtype=np.uint64))
+
+
+def test_streaming_loader_rejects_out_of_order_chunks(path):
+    with BTree(path, record_size=8) as t:
+        loader = t.bulk_loader()
+        loader.append(np.array([10], dtype=np.uint64), np.zeros((1, 8), np.uint8))
+        with pytest.raises(ValueError):
+            loader.append(np.array([5], dtype=np.uint64), np.zeros((1, 8), np.uint8))
+
+
+def test_insert_after_bulk_load(path):
+    with BTree(path, record_size=8, page_size=512) as t:
+        t.bulk_load(
+            np.arange(0, 1000, 2, dtype=np.uint64), np.zeros((500, 8), np.uint8)
+        )
+        t.insert(501, b"q" * 8)
+        assert t.get(501) == b"q" * 8
+        assert len(t) == 501
+
+
+def test_tiny_cache_still_correct(path):
+    """Out-of-core claim: correctness must not depend on cache size."""
+    rng = np.random.default_rng(1)
+    keys = rng.permutation(2000).astype(np.uint64)
+    with BTree(path, record_size=8, page_size=256, cache_pages=4) as t:
+        for k in keys:
+            t.insert(int(k), int(k).to_bytes(8, "little"))
+        assert t.reads > 0  # cache misses occurred
+    with BTree(path, cache_pages=4) as t:
+        for k in rng.choice(2000, 100, replace=False):
+            assert t.get(int(k)) == int(k).to_bytes(8, "little")
+
+
+def test_io_counters_move(path):
+    with BTree(path, record_size=8, page_size=256, cache_pages=4) as t:
+        for k in range(500):
+            t.insert(k, k.to_bytes(8, "little"))
+        assert t.writes > 0
+
+
+@settings(deadline=None, max_examples=20)
+@given(
+    st.lists(
+        st.integers(min_value=0, max_value=2**53), min_size=1, max_size=200, unique=True
+    )
+)
+def test_property_insert_then_scan_sorted(tmp_path_factory, keys):
+    path = str(tmp_path_factory.mktemp("bt") / "p.btree")
+    with BTree(path, record_size=8, page_size=256, cache_pages=4) as t:
+        for k in keys:
+            t.insert(k, int(k % 255).to_bytes(1, "little") * 8)
+        scanned = [k for k, _ in t.range_scan()]
+        assert scanned == sorted(keys)
+        for k in keys:
+            assert t.get(k) == int(k % 255).to_bytes(1, "little") * 8

@@ -1,0 +1,59 @@
+"""Frequency continuation through the high-level MaterialInversion API."""
+
+import numpy as np
+import pytest
+
+from repro.core import AntiplaneSetup, MaterialInversion
+
+
+@pytest.fixture(scope="module")
+def setup():
+    def vs(pts):
+        return 1.0 + 0.8 * (pts[:, 1] > 2.0)
+
+    return AntiplaneSetup(
+        vs,
+        lengths=(8.0, 4.0),
+        wave_shape=(24, 12),
+        n_receivers=12,
+        t_end=6.0,
+    )
+
+
+def test_make_problem_attaches_level_smoother(setup):
+    inv = MaterialInversion(setup, freq_continuation=[0.5, None])
+    grids = setup.material_grids(2)
+    p0 = inv.make_problem(grids[0], level=0)
+    p1 = inv.make_problem(grids[1], level=1)
+    assert p0.residual_smoother is not None
+    assert p1.residual_smoother is None
+    # default (no level): unfiltered
+    assert inv.make_problem(grids[0]).residual_smoother is None
+
+
+def test_continuation_beats_unfiltered_inversion(setup):
+    """Low-passing early levels keeps the coarse updates in the basin
+    of attraction: with the same iteration budget, grid+frequency
+    continuation lands at a better model than grid continuation alone
+    (the combination the paper advocates)."""
+    inv_f = MaterialInversion(
+        setup, beta_tv=1e-6, freq_continuation=[0.4, 1.0, None]
+    )
+    res_f = inv_f.run(n_levels=3, newton_per_level=4, cg_maxiter=15)
+    inv_raw = MaterialInversion(setup, beta_tv=1e-6)
+    res_raw = inv_raw.run(n_levels=3, newton_per_level=4, cg_maxiter=15)
+    assert np.isfinite(res_f.m_final).all()
+    assert res_f.model_errors[-1] < res_raw.model_errors[-1]
+    assert res_f.model_errors[-1] < 0.45
+
+
+def test_smoothed_level_fits_lowpassed_data_better(setup):
+    """The filtered objective at the homogeneous guess is smaller than
+    the raw one (high-frequency residual energy is suppressed)."""
+    inv_raw = MaterialInversion(setup)
+    inv_f = MaterialInversion(setup, freq_continuation=[0.3])
+    grid = setup.material_grids(1)[0]
+    m0 = np.full(grid.n, float(np.mean(setup.mu_true_e)))
+    J_raw = inv_raw.make_problem(grid, level=0).objective(m0)[0]
+    J_f = inv_f.make_problem(grid, level=0).objective(m0)[0]
+    assert J_f < J_raw

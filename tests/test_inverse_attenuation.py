@@ -1,0 +1,112 @@
+"""Tests for the attenuation (damping field) inversion."""
+
+import numpy as np
+import pytest
+
+from repro.inverse import (
+    AttenuationInverseProblem,
+    MaterialGrid,
+    gauss_newton_cg,
+)
+from repro.solver import RegularGridScalarWave
+
+
+@pytest.fixture(scope="module")
+def atten_setup():
+    nx, nz = 24, 12
+    h = 100.0
+    solver = RegularGridScalarWave((nx, nz), h, rho=1000.0)
+    grid = MaterialGrid((4, 2), (nx * h, nz * h))
+    mu_e = np.full(solver.nelem, 2.0e9)
+    alpha_true = grid.sample(lambda p: 0.5 + 1.5 * (p[:, 0] > 1200.0))
+    alpha_e = grid.to_elements(solver) @ alpha_true
+    dt = solver.stable_dt(mu_e)
+    nsteps = 250
+    src = solver.node_index((nx // 2, 3))
+
+    def ricker(t, f0=2.0, t0=0.6):
+        a = (np.pi * f0 * (t - t0)) ** 2
+        return (1 - 2 * a) * np.exp(-a)
+
+    def forcing(k):
+        f = np.zeros(solver.nnode)
+        f[src] = dt**2 * 1e6 * ricker(k * dt)
+        return f
+
+    u = solver.march(mu_e, forcing, nsteps, dt, store=True, alpha=alpha_e)
+    rec = solver.surface_nodes()
+    prob = AttenuationInverseProblem(
+        solver, grid, mu_e, rec, u[:, rec], dt, nsteps, forcing
+    )
+    return prob, grid, alpha_true
+
+
+class TestVolumeDamping:
+    def test_damping_reduces_amplitude(self):
+        solver = RegularGridScalarWave((16, 8), 100.0, 1000.0)
+        mu = np.full(solver.nelem, 2e9)
+        dt = solver.stable_dt(mu)
+        src = solver.node_index((8, 2))
+
+        def forcing(k):
+            f = np.zeros(solver.nnode)
+            f[src] = dt**2 * 1e6 * np.exp(-(((k * dt - 0.2) / 0.05) ** 2))
+            return f
+
+        u0 = solver.march(mu, forcing, 150, dt, store=True)
+        u1 = solver.march(
+            mu, forcing, 150, dt, store=True,
+            alpha=np.full(solver.nelem, 3.0),
+        )
+        assert np.abs(u1[-30:]).max() < np.abs(u0[-30:]).max()
+
+    def test_volume_damping_total(self):
+        solver = RegularGridScalarWave((4, 4), 25.0, 1500.0)
+        C = solver.volume_damping_diag(np.full(solver.nelem, 2.0))
+        np.testing.assert_allclose(C.sum(), 2.0 * 1500.0 * (4 * 25.0) ** 2)
+
+
+class TestAttenuationGradient:
+    def test_gradient_matches_fd(self, atten_setup):
+        prob, grid, alpha_true = atten_setup
+        m0 = np.full(grid.n, 1.0)
+        g, J, _ = prob.gradient(m0)
+        eps = 1e-5
+        for i in [0, 5, grid.n - 1]:
+            mp, mm = m0.copy(), m0.copy()
+            mp[i] += eps
+            mm[i] -= eps
+            fd = (prob.objective(mp)[0] - prob.objective(mm)[0]) / (2 * eps)
+            assert abs(fd - g[i]) <= 1e-6 * max(abs(fd), 1e-30)
+
+    def test_zero_at_truth(self, atten_setup):
+        prob, grid, alpha_true = atten_setup
+        g, J, _ = prob.gradient(alpha_true)
+        assert J < 1e-28
+        assert np.abs(g).max() < 1e-25
+
+    def test_gn_symmetric(self, atten_setup):
+        prob, grid, alpha_true = atten_setup
+        _, _, state = prob.gradient(np.full(grid.n, 1.0))
+        rng = np.random.default_rng(0)
+        v, w = rng.standard_normal((2, grid.n))
+        np.testing.assert_allclose(
+            w @ prob.gn_hessvec(v, state),
+            v @ prob.gn_hessvec(w, state),
+            rtol=1e-9,
+        )
+
+    def test_negative_alpha_rejected(self, atten_setup):
+        prob, grid, _ = atten_setup
+        with pytest.raises(FloatingPointError):
+            prob.forward(-np.ones(grid.n))
+
+
+class TestAttenuationRecovery:
+    def test_gn_recovers_damping_field(self, atten_setup):
+        prob, grid, alpha_true = atten_setup
+        m0 = np.full(grid.n, 1.0)
+        res = gauss_newton_cg(prob, m0, max_newton=12, cg_maxiter=25)
+        err = np.linalg.norm(res.m - alpha_true) / np.linalg.norm(alpha_true)
+        assert err < 0.01
+        assert res.objective < 1e-6 * prob.objective(m0)[0]

@@ -1,0 +1,62 @@
+"""Tests for the mesh-size/work predictor and the paper's scaling law."""
+
+import numpy as np
+import pytest
+
+from repro.materials import HomogeneousMaterial, SyntheticBasinModel
+from repro.mesh import estimate_mesh_size, extract_mesh
+from repro.mesh.hexmesh import wavelength_target
+from repro.octree import balance_octree, build_adaptive_octree
+
+
+class TestScalingLaw:
+    def test_frequency_doubling_is_8x_grid_16x_work(self):
+        """Paper footnote 3: 'Each doubling of frequency leads to a
+        factor of 8 increase in grid size and factor of 16 increase in
+        work, for a given material model.'"""
+        mat = HomogeneousMaterial(vs=1000.0, vp=2000.0, rho=2200.0)
+        lo = estimate_mesh_size(mat, L=10_000.0, fmax=0.5)
+        hi = estimate_mesh_size(mat, L=10_000.0, fmax=1.0)
+        np.testing.assert_allclose(hi["elements"] / lo["elements"], 8.0,
+                                   rtol=1e-6)
+        np.testing.assert_allclose(hi["work"] / lo["work"], 16.0, rtol=1e-6)
+
+    def test_h_min_floor_breaks_scaling(self):
+        """With an element-size floor the growth saturates."""
+        mat = HomogeneousMaterial(vs=1000.0, vp=2000.0, rho=2200.0)
+        lo = estimate_mesh_size(mat, L=10_000.0, fmax=0.5, h_min=200.0)
+        hi = estimate_mesh_size(mat, L=10_000.0, fmax=4.0, h_min=200.0)
+        assert hi["elements"] / lo["elements"] < 8.0**3
+
+    def test_estimate_matches_built_mesh(self):
+        """The predictor agrees with an actually-built octree mesh to
+        within the octree's power-of-two quantization (~3x)."""
+        mat = SyntheticBasinModel(L=8_000.0, depth=4_000.0, vs_min=400.0)
+        est = estimate_mesh_size(
+            mat, L=8_000.0, fmax=0.5, box_frac=(1, 1, 0.5), h_min=125.0
+        )
+        target = wavelength_target(
+            lambda p: mat.query(p)[0], L=8_000.0, fmax=0.5, h_min=125.0
+        )
+        tree = balance_octree(
+            build_adaptive_octree(target, max_level=6, box_frac=(1, 1, 0.5))
+        )
+        mesh = extract_mesh(tree, L=8_000.0, box_frac=(1, 1, 0.5))
+        ratio = mesh.nelem / est["elements"]
+        assert 1 / 3 < ratio < 3.0
+
+    def test_paper_scale_projection(self):
+        """At the paper's production parameters (1 Hz, 100 m/s minimum
+        vs) the LA-basin projection reaches the ~1e8-point regime, and
+        2 Hz lands near the paper's 1.2-billion-point run."""
+        mat = SyntheticBasinModel(L=80_000.0, depth=40_000.0, vs_min=100.0)
+        one_hz = estimate_mesh_size(
+            mat, L=80_000.0, fmax=1.0, box_frac=(1, 1, 0.5)
+        )
+        two_hz = estimate_mesh_size(
+            mat, L=80_000.0, fmax=2.0, box_frac=(1, 1, 0.5)
+        )
+        assert 1e7 < one_hz["grid_points"] < 1e9
+        np.testing.assert_allclose(
+            two_hz["grid_points"] / one_hz["grid_points"], 8.0, rtol=1e-6
+        )

@@ -1,0 +1,129 @@
+"""Unit and property tests for Morton codes and octant arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.octree import (
+    MAX_COORD,
+    MAX_LEVEL,
+    contract3,
+    dilate3,
+    is_ancestor,
+    morton_decode,
+    morton_encode,
+    octant_anchor,
+    octant_children,
+    octant_parent,
+    octant_size,
+    pack_key,
+    unpack_key,
+)
+
+coords = st.integers(min_value=0, max_value=MAX_COORD - 1)
+
+
+def test_dilate_contract_known_values():
+    assert int(dilate3(np.uint64(0b1))) == 0b1
+    assert int(dilate3(np.uint64(0b11))) == 0b1001
+    assert int(dilate3(np.uint64(0b101))) == 0b1000001
+    assert int(contract3(np.uint64(0b1001))) == 0b11
+
+
+def test_morton_known_small_values():
+    # Morton order of the 8 children of the root, in (x, y, z) order
+    assert int(morton_encode(0, 0, 0)) == 0
+    assert int(morton_encode(1, 0, 0)) == 1
+    assert int(morton_encode(0, 1, 0)) == 2
+    assert int(morton_encode(1, 1, 0)) == 3
+    assert int(morton_encode(0, 0, 1)) == 4
+    assert int(morton_encode(1, 1, 1)) == 7
+
+
+@given(coords, coords, coords)
+def test_morton_roundtrip(x, y, z):
+    code = morton_encode(x, y, z)
+    xx, yy, zz = morton_decode(code)
+    assert (int(xx), int(yy), int(zz)) == (x, y, z)
+
+
+def test_morton_roundtrip_vectorized():
+    rng = np.random.default_rng(0)
+    pts = rng.integers(0, MAX_COORD, size=(1000, 3))
+    codes = morton_encode(pts[:, 0], pts[:, 1], pts[:, 2])
+    x, y, z = morton_decode(codes)
+    np.testing.assert_array_equal(np.stack([x, y, z], axis=1), pts)
+
+
+def test_morton_is_z_order_within_octant():
+    # all codes inside an octant form a contiguous range
+    for (ax, ay, az, lvl) in [(0, 0, 0, MAX_LEVEL - 2), (4, 8, 12, MAX_LEVEL - 2)]:
+        size = int(octant_size(lvl))
+        xs, ys, zs = np.meshgrid(*[np.arange(size)] * 3, indexing="ij")
+        codes = morton_encode(ax + xs.ravel(), ay + ys.ravel(), az + zs.ravel())
+        codes = np.sort(codes)
+        base = int(morton_encode(ax, ay, az))
+        np.testing.assert_array_equal(codes, np.arange(base, base + size**3))
+
+
+@given(coords, coords, coords, st.integers(min_value=0, max_value=MAX_LEVEL))
+def test_pack_unpack_roundtrip(x, y, z, level):
+    size = int(octant_size(level))
+    x, y, z = (x // size) * size, (y // size) * size, (z // size) * size
+    key = pack_key(morton_encode(x, y, z), level)
+    m, l = unpack_key(key)
+    assert int(l) == level
+    xx, yy, zz = morton_decode(m)
+    assert (int(xx), int(yy), int(zz)) == (x, y, z)
+
+
+def test_pack_key_sorts_morton_major():
+    k1 = pack_key(np.uint64(5), np.uint64(31))
+    k2 = pack_key(np.uint64(6), np.uint64(0))
+    assert int(k1) < int(k2)
+
+
+@given(coords, coords, coords, st.integers(min_value=1, max_value=MAX_LEVEL))
+def test_parent_of_child(x, y, z, level):
+    size = int(octant_size(level))
+    x, y, z = (x // size) * size, (y // size) * size, (z // size) * size
+    key = pack_key(morton_encode(x, y, z), level)
+    parent = octant_parent(key)
+    children = octant_children(parent)
+    assert int(key) in set(int(c) for c in np.atleast_1d(children).ravel())
+
+
+def test_children_tile_parent_and_stay_sorted():
+    key = pack_key(morton_encode(0, 0, 0), 2)
+    kids = np.atleast_1d(octant_children(key)).ravel()
+    assert len(kids) == 8
+    assert np.all(np.diff(kids.astype(np.uint64)) > 0)
+    x, y, z, lvl = octant_anchor(kids)
+    assert np.all(lvl == 3)
+    sz = int(octant_size(3))
+    vol = len(kids) * sz**3
+    assert vol == int(octant_size(2)) ** 3
+
+
+def test_is_ancestor():
+    root = pack_key(morton_encode(0, 0, 0), 0)
+    kid = np.atleast_1d(octant_children(root)).ravel()[3]
+    grandkid = np.atleast_1d(octant_children(kid)).ravel()[0]
+    assert bool(is_ancestor(root, kid))
+    assert bool(is_ancestor(root, grandkid))
+    assert bool(is_ancestor(kid, grandkid))
+    assert not bool(is_ancestor(grandkid, kid))
+    assert not bool(is_ancestor(kid, kid))
+
+
+def test_parent_of_root_raises():
+    root = pack_key(morton_encode(0, 0, 0), 0)
+    with pytest.raises(ValueError):
+        octant_parent(root)
+
+
+def test_children_beyond_max_level_raises():
+    deepest = pack_key(morton_encode(0, 0, 0), MAX_LEVEL)
+    with pytest.raises(ValueError):
+        octant_children(deepest)

@@ -1,0 +1,127 @@
+"""Edge cases of the Gauss-Newton driver and preconditioner stack."""
+
+import numpy as np
+import pytest
+
+from repro.inverse import LBFGSPreconditioner, frankel_solve, gauss_newton_cg
+from repro.inverse.gauss_newton import _pcg
+from repro.inverse.precond import power_estimate_lmax
+
+
+class QuadraticProblem:
+    """Analytic test problem J = 0.5 (m - m*)^T H (m - m*)."""
+
+    def __init__(self, H, m_star):
+        self.H = H
+        self.m_star = m_star
+        self.barrier_gamma = 0.0
+        self.mu_min = 0.0
+
+    def objective(self, m, state=None):
+        d = m - self.m_star
+        return 0.5 * float(d @ self.H @ d), {}, m
+
+    def gradient(self, m, state=None):
+        J, _, _ = self.objective(m)
+        return self.H @ (m - self.m_star), J, m
+
+    def gn_hessvec(self, v, state):
+        return self.H @ v
+
+
+def make_spd(n, cond=100.0, seed=0):
+    rng = np.random.default_rng(seed)
+    Q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    d = np.geomspace(1.0, cond, n)
+    return Q @ np.diag(d) @ Q.T
+
+
+class TestGNDriver:
+    def test_quadratic_converges_in_one_newton_step(self):
+        H = make_spd(12)
+        m_star = np.arange(12.0)
+        prob = QuadraticProblem(H, m_star)
+        res = gauss_newton_cg(
+            prob, np.zeros(12), max_newton=5, cg_maxiter=100, cg_forcing=1e-10
+        )
+        np.testing.assert_allclose(res.m, m_star, atol=1e-6)
+        assert res.newton_iterations <= 3
+
+    def test_scale_invariance(self):
+        """The optimizer must behave identically when the problem is
+        rescaled by 1e-20 (the bug class the curvature guard had)."""
+        H = make_spd(10, seed=1)
+        m_star = np.linspace(1, 2, 10)
+        for scale in (1.0, 1e-20, 1e20):
+            prob = QuadraticProblem(scale * H, m_star)
+            res = gauss_newton_cg(
+                prob, np.zeros(10), max_newton=6, cg_maxiter=100,
+                cg_forcing=1e-10,
+            )
+            np.testing.assert_allclose(res.m, m_star, atol=1e-5)
+
+    def test_zero_gradient_immediately_converged(self):
+        H = make_spd(5)
+        m_star = np.ones(5)
+        prob = QuadraticProblem(H, m_star)
+        res = gauss_newton_cg(prob, m_star.copy(), max_newton=5)
+        assert res.converged
+        assert res.newton_iterations == 0
+
+    def test_history_recorded(self):
+        H = make_spd(8)
+        prob = QuadraticProblem(H, np.ones(8))
+        res = gauss_newton_cg(prob, np.zeros(8), max_newton=4)
+        assert len(res.history) >= 2
+        assert res.history[0]["J"] >= res.history[-1]["J"]
+
+    def test_pcg_solves_spd_system(self):
+        H = make_spd(20, cond=50.0)
+        g = np.random.default_rng(2).standard_normal(20)
+        d, iters = _pcg(
+            lambda v: H @ v, g, tol=1e-10, maxiter=200, precond=None
+        )
+        np.testing.assert_allclose(H @ d, -g, atol=1e-7)
+
+    def test_pcg_with_lbfgs_precond_uses_fewer_iterations(self):
+        H = make_spd(30, cond=1e4, seed=3)
+        rng = np.random.default_rng(4)
+        g = rng.standard_normal(30)
+        _, it_plain = _pcg(lambda v: H @ v, g, tol=1e-8, maxiter=500,
+                           precond=None)
+        pre = LBFGSPreconditioner(30, memory=30)
+        for _ in range(30):
+            s = rng.standard_normal(30)
+            pre.stage_pair(s, H @ s)
+        pre.commit()
+        _, it_pre = _pcg(lambda v: H @ v, g, tol=1e-8, maxiter=500,
+                         precond=pre)
+        assert it_pre < it_plain
+
+
+class TestFrankelBasedPreconditioner:
+    def test_lbfgs_with_frankel_base(self):
+        """Morales-Nocedal with a Frankel-two-step H0 on the 'cheap'
+        operator part — the paper's exact preconditioner recipe."""
+        n = 25
+        H_cheap = make_spd(n, cond=30.0, seed=5)  # plays the reg operator
+        H_full = H_cheap + 0.5 * make_spd(n, cond=5.0, seed=6)
+        lmax = power_estimate_lmax(lambda v: H_cheap @ v, n)
+
+        def base(r):
+            return frankel_solve(
+                lambda v: H_cheap @ v, r, lmax / 30.0, lmax, iters=10
+            )
+
+        pre = LBFGSPreconditioner(n, memory=10, base_apply=base)
+        rng = np.random.default_rng(7)
+        for _ in range(10):
+            s = rng.standard_normal(n)
+            pre.stage_pair(s, H_full @ s)
+        pre.commit()
+        g = rng.standard_normal(n)
+        _, it_plain = _pcg(lambda v: H_full @ v, g, tol=1e-8, maxiter=500,
+                           precond=None)
+        _, it_pre = _pcg(lambda v: H_full @ v, g, tol=1e-8, maxiter=500,
+                         precond=pre)
+        assert it_pre <= it_plain

@@ -1,0 +1,76 @@
+"""Tests for the surface-law fit and paper-row modeling (Table 2.1
+machinery beyond what test_parallel covers)."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import uniform_hex_mesh
+from repro.parallel.perfmodel import (
+    ALPHASERVER_ES45,
+    MachineModel,
+    fit_interface_constant,
+    format_table,
+    predict_paper_row,
+)
+
+
+class TestInterfaceLaw:
+    def test_fit_on_uniform_mesh(self):
+        mesh = uniform_hex_mesh(8, L=1000.0)
+        c = fit_interface_constant(mesh, [8, 16, 32])
+        # an interior RCB part of g points exposes ~6 g^(2/3) interface
+        # points (cube surface law); allow geometry slack
+        assert 2.0 < c < 12.0
+
+    def test_fit_requires_multirank(self):
+        mesh = uniform_hex_mesh(2, L=1.0)
+        with pytest.raises(ValueError):
+            fit_interface_constant(mesh, [1])
+
+
+class TestPaperRowModel:
+    def test_single_pe_row_is_nearly_ideal(self):
+        row = predict_paper_row(100_000, 1, c_interface=6.0)
+        assert row.efficiency > 0.99
+
+    def test_efficiency_monotone_in_granularity_at_fixed_pes(self):
+        rows = [
+            predict_paper_row(g, 2048, c_interface=6.0)
+            for g in (200_000, 50_000, 10_000)
+        ]
+        assert rows[0].efficiency > rows[1].efficiency > rows[2].efficiency
+
+    def test_efficiency_monotone_in_pes_at_fixed_granularity(self):
+        rows = [
+            predict_paper_row(50_000, p, c_interface=6.0)
+            for p in (16, 256, 3000)
+        ]
+        assert rows[0].efficiency > rows[1].efficiency > rows[2].efficiency
+
+    def test_headline_calibration(self):
+        """The 3000-PE Northridge row must model at ~80% efficiency /
+        1.2 Tflop/s — the calibration target."""
+        row = predict_paper_row(
+            33_980, 3000, c_interface=6.0, model_name="LA1HB"
+        )
+        assert abs(row.efficiency - 0.80) < 0.05
+        assert abs(row.gflops - 1210) < 120
+
+    def test_machine_model_terms(self):
+        m = MachineModel("t", 1e9, 1e-6, 1e8, 1e-3)
+        t1 = m.rank_step_time(1_000_000, 0, 0, 1)
+        np.testing.assert_allclose(t1, 1e-3)
+        t2 = m.rank_step_time(1_000_000, 10, 1_000_000, 1)
+        np.testing.assert_allclose(t2, 1e-3 + 1e-5 + 1e-2)
+        # sync term grows with log2(P)
+        t4 = m.rank_step_time(0, 0, 0, 4)
+        np.testing.assert_allclose(t4, 2e-3)
+
+    def test_format_table_contains_all_rows(self):
+        rows = [
+            predict_paper_row(10_000, p, c_interface=6.0, model_name=f"m{p}")
+            for p in (1, 8)
+        ]
+        text = format_table(rows)
+        assert "m1" in text and "m8" in text
+        assert text.count("\n") >= 3

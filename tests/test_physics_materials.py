@@ -1,0 +1,127 @@
+"""Tests for elastic conversions, CFL, Stacey coefficients, materials."""
+
+import numpy as np
+import pytest
+
+from repro.materials import (
+    HomogeneousMaterial,
+    LayeredMaterial,
+    SyntheticBasinModel,
+)
+from repro.physics import (
+    lame_from_velocities,
+    stable_timestep,
+    stacey_coefficients,
+    velocities_from_lame,
+)
+
+
+class TestElastic:
+    def test_roundtrip(self):
+        vs, vp, rho = 1000.0, 2000.0, 2300.0
+        lam, mu = lame_from_velocities(vs, vp, rho)
+        vs2, vp2 = velocities_from_lame(lam, mu, rho)
+        np.testing.assert_allclose([vs2, vp2], [vs, vp])
+
+    def test_moduli_values(self):
+        lam, mu = lame_from_velocities(1000.0, 2000.0, 2000.0)
+        assert mu == 2000.0 * 1000.0**2
+        assert lam == 2000.0 * (2000.0**2 - 2 * 1000.0**2)
+
+    def test_invalid_velocities(self):
+        with pytest.raises(ValueError):
+            lame_from_velocities(1000.0, 1200.0, 2000.0)
+
+    def test_vectorized(self):
+        vs = np.array([500.0, 1000.0])
+        vp = np.array([1200.0, 2500.0])
+        rho = np.array([1800.0, 2200.0])
+        lam, mu = lame_from_velocities(vs, vp, rho)
+        assert lam.shape == (2,)
+
+
+class TestCFL:
+    def test_finest_softest_governs(self):
+        h = np.array([100.0, 50.0])
+        vp = np.array([2000.0, 4000.0])
+        dt = stable_timestep(h, vp, safety=1.0)
+        np.testing.assert_allclose(dt, (50.0 / 4000.0) / np.sqrt(3))
+
+    def test_safety_scales(self):
+        h, vp = np.array([100.0]), np.array([1000.0])
+        assert stable_timestep(h, vp, safety=0.25) == 0.5 * stable_timestep(
+            h, vp, safety=0.5
+        )
+
+    def test_empty_mesh_raises(self):
+        with pytest.raises(ValueError):
+            stable_timestep(np.array([]), np.array([]))
+
+
+class TestStaceyCoefficients:
+    def test_impedances(self):
+        lam, mu, rho = 2.0e9, 1.0e9, 2000.0
+        d1, d2, c1 = stacey_coefficients(lam, mu, rho)
+        np.testing.assert_allclose(d1, np.sqrt(rho * (lam + 2 * mu)))
+        np.testing.assert_allclose(d2, np.sqrt(rho * mu))
+        np.testing.assert_allclose(c1, -2 * mu + np.sqrt(mu * (lam + 2 * mu)))
+
+    def test_c1_sign_for_poisson_solid(self):
+        # for lambda = mu (Poisson), c1 = mu (sqrt(3) - 2) < 0
+        _, _, c1 = stacey_coefficients(1.0, 1.0, 1.0)
+        assert c1 < 0
+
+
+class TestMaterials:
+    def test_homogeneous(self):
+        m = HomogeneousMaterial(1000.0, 2000.0, 2300.0)
+        vs, vp, rho = m.query(np.zeros((5, 3)))
+        assert np.all(vs == 1000.0) and vs.shape == (5,)
+
+    def test_homogeneous_rejects_bad_ratio(self):
+        with pytest.raises(ValueError):
+            HomogeneousMaterial(1000.0, 1100.0, 2000.0)
+
+    def test_layered_lookup(self):
+        m = LayeredMaterial(
+            [1000.0, 5000.0],
+            vs=[500.0, 1500.0, 3000.0],
+            vp=[1000.0, 3000.0, 5500.0],
+            rho=[1800.0, 2200.0, 2600.0],
+        )
+        pts = np.array([[0, 0, 500.0], [0, 0, 2000.0], [0, 0, 9000.0]])
+        vs, vp, rho = m.query(pts)
+        np.testing.assert_array_equal(vs, [500.0, 1500.0, 3000.0])
+
+    def test_layered_validates(self):
+        with pytest.raises(ValueError):
+            LayeredMaterial([2000.0, 1000.0], [1, 2, 3], [2, 4, 6], [1, 1, 1])
+        with pytest.raises(ValueError):
+            LayeredMaterial([1000.0], [1, 2], [2, 4, 6], [1, 1])
+
+    def test_basin_model_soft_center_hard_outside(self):
+        m = SyntheticBasinModel(L=80_000.0, vs_min=100.0)
+        center = np.array([[0.55 * 80_000, 0.45 * 80_000, 10.0]])
+        far = np.array([[1000.0, 1000.0, 10.0]])
+        vs_c, _, _ = m.query(center)
+        vs_f, _, _ = m.query(far)
+        assert vs_c[0] < 200.0
+        assert vs_f[0] > 1500.0
+
+    def test_basin_stiffens_with_depth(self):
+        m = SyntheticBasinModel(L=80_000.0)
+        col = np.array([[0.55 * 80_000, 0.45 * 80_000, z] for z in
+                        [10.0, 500.0, 2000.0, 20_000.0]])
+        vs, vp, rho = m.query(col)
+        assert np.all(np.diff(vs) > 0)
+        assert vs[-1] > 3500.0
+
+    def test_basin_physically_admissible(self):
+        m = SyntheticBasinModel(L=80_000.0, vs_min=100.0)
+        rng = np.random.default_rng(0)
+        pts = rng.random((500, 3)) * [80_000, 80_000, 30_000]
+        vs, vp, rho = m.query(pts)
+        assert np.all(vp >= np.sqrt(2) * vs)
+        assert np.all(rho > 1000.0)
+        assert np.all(vs >= 100.0 - 1e-9)
+        assert np.all(vs <= 5000.0)

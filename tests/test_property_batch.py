@@ -1,0 +1,119 @@
+"""Cross-module property-based tests (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fem.damping import damping_ratio, rayleigh_coefficients
+from repro.io.viz import render_grid, render_section, render_surface_snapshot
+from repro.inverse import MaterialGrid
+from repro.mesh import rcb_partition, uniform_hex_mesh
+from repro.octree import MAX_COORD, build_adaptive_octree
+from repro.sources import slip_function, slip_rate
+
+
+class TestPartitionProperties:
+    @settings(deadline=None, max_examples=15)
+    @given(st.integers(min_value=1, max_value=40),
+           st.integers(min_value=0, max_value=2**31))
+    def test_rcb_covers_and_balances(self, nparts, seed):
+        rng = np.random.default_rng(seed)
+        pts = rng.random((200, 3))
+        parts = rcb_partition(pts, nparts)
+        counts = np.bincount(parts, minlength=nparts)
+        assert counts.sum() == 200
+        assert parts.min() >= 0 and parts.max() < nparts
+        if nparts <= 200:
+            assert counts.max() - counts.min() <= max(2, 200 // nparts)
+
+    def test_rcb_deterministic(self):
+        pts = np.random.default_rng(7).random((100, 3))
+        a = rcb_partition(pts, 8)
+        b = rcb_partition(pts, 8)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestOctreeProperties:
+    @settings(deadline=None, max_examples=10)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_every_point_located_in_adaptive_tree(self, seed):
+        rng = np.random.default_rng(seed)
+        center = rng.random(3)
+
+        def target(c, s):
+            d = np.linalg.norm(c - center, axis=1)
+            return np.where(d < 0.25, 1 / 16, 1 / 4)
+
+        tree = build_adaptive_octree(target, max_level=5)
+        pts = rng.integers(0, MAX_COORD, size=(100, 3))
+        idx = tree.locate(pts)
+        assert np.all(idx >= 0)
+        # containment
+        rel = pts - tree.anchors[idx]
+        assert np.all(rel >= 0)
+        assert np.all(rel < tree.sizes[idx][:, None])
+
+
+class TestDampingProperties:
+    @settings(deadline=None, max_examples=25)
+    @given(
+        st.floats(0.001, 0.3),
+        st.floats(0.01, 2.0),
+        st.floats(2.1, 20.0),
+    )
+    def test_fit_positive_and_scales_linearly(self, xi, f1, ratio):
+        f2 = f1 * ratio
+        a, b = rayleigh_coefficients(xi, f1, f2)
+        assert a > 0 and b > 0
+        a2, b2 = rayleigh_coefficients(2 * xi, f1, f2)
+        np.testing.assert_allclose([a2, b2], [2 * a, 2 * b], rtol=1e-12)
+        # the fitted curve is within a factor ~3 of the target mid-band
+        mid = np.sqrt(f1 * f2)
+        got = damping_ratio(a, b, mid)
+        assert 0.3 * xi < got < 3.0 * xi
+
+
+class TestSlipProperties:
+    @settings(deadline=None, max_examples=30)
+    @given(st.floats(0.0, 5.0), st.floats(0.05, 4.0), st.floats(-1.0, 12.0))
+    def test_slip_bounded_monotone_saturating(self, T, t0, t):
+        g = float(slip_function(t, T, t0))
+        assert 0.0 <= g <= 1.0
+        assert float(slip_function(t + 0.3, T, t0)) >= g - 1e-12
+        assert float(slip_rate(t, T, t0)) >= 0.0
+
+
+class TestViz:
+    def test_render_grid_shape_and_ramp(self):
+        v = np.linspace(0, 1, 12).reshape(4, 3)
+        out = render_grid(v)
+        rows = out.split("\n")
+        assert len(rows) == 3
+        assert all(len(r) == 4 for r in rows)
+        assert out[0] == " " and out[-1] == "@"
+
+    def test_render_grid_constant_field(self):
+        out = render_grid(np.ones((3, 3)))
+        assert set(out.replace("\n", "")) == {" "}
+
+    def test_render_grid_rejects_1d(self):
+        with pytest.raises(ValueError):
+            render_grid(np.ones(5))
+
+    def test_render_section(self):
+        grid = MaterialGrid((4, 2), (1.0, 0.5))
+        m = grid.sample(lambda p: p[:, 1])
+        out = render_section(grid, m)
+        rows = out.split("\n")
+        assert len(rows) == 3  # nodes along depth
+        assert rows[0] != rows[-1]
+
+    def test_render_surface_snapshot(self):
+        mesh = uniform_hex_mesh(4, L=100.0)
+        nodes = mesh.surface_nodes(2, 0)
+        vals = mesh.coords[nodes][:, 0]  # gradient along x
+        out = render_surface_snapshot(mesh, nodes, vals, width=16)
+        rows = out.split("\n")
+        assert len(rows) >= 2
+        assert len(set(out.replace("\n", ""))) > 2
