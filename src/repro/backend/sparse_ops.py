@@ -1,0 +1,157 @@
+"""Precomputed scatter plans and allocation-free sparse products.
+
+The paper's solver does exactly one indirect-addressing pass per
+stiffness application (gather element corner values, scatter-add the
+element results).  The seed code paid for that scatter with a fresh
+``np.bincount`` — and a fresh output array — on every call.  Here the
+scatter is planned **once**: the flat destination indices are sorted
+into CSR form (row = global dof, entries = positions in the element
+result block), so every subsequent scatter is a single C-level CSR
+matvec into a caller-owned output buffer.
+
+Per-element material coefficients are *folded into the CSR data array*
+(see :class:`ScatterPlan.fold`), which removes the separate per-element
+scaling passes from the hot loop entirely: the scatter multiplies each
+gathered element value by its coefficient as it accumulates.
+
+:func:`spmv_acc` / :func:`spmv_into` wrap scipy's internal
+``csr_matvec(s)`` C routines, which accumulate into a caller-provided
+output vector; when those private kernels are unavailable the helpers
+fall back to ordinary (allocating) scipy products, trading the
+zero-allocation guarantee for portability.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # scipy's C kernels accumulate into caller buffers (y += A @ x)
+    from scipy.sparse import _sparsetools as _st
+
+    HAVE_INPLACE_SPMV = True
+except ImportError:  # pragma: no cover - depends on scipy internals
+    _st = None
+    HAVE_INPLACE_SPMV = False
+
+
+class ScatterPlan:
+    """CSR-form plan for repeated scatter-adds to a fixed index set.
+
+    Parameters
+    ----------
+    idx:
+        Flat destination index per source slot (``nnz`` entries, each in
+        ``[0, n)``) — e.g. the global dof of every element-local dof.
+    n:
+        Size of the destination vector.
+    """
+
+    def __init__(self, idx: np.ndarray, n: int):
+        idx = np.asarray(idx, dtype=np.int64).ravel()
+        self.n = int(n)
+        self.nnz = int(idx.size)
+        #: stable source permutation sorting slots by destination; used
+        #: both as the CSR column indices and to permute folded data
+        self.order = np.argsort(idx, kind="stable")
+        counts = (
+            np.bincount(idx, minlength=self.n)
+            if self.nnz
+            else np.zeros(self.n, dtype=np.int64)
+        )
+        itype = (
+            np.int32
+            if max(self.nnz, self.n) < np.iinfo(np.int32).max
+            else np.int64
+        )
+        self.indptr = np.zeros(self.n + 1, dtype=itype)
+        self.indptr[1:] = np.cumsum(counts)
+        self.indices = self.order.astype(itype)
+        self._rows = None  # built lazily, fallback path only
+
+    def fold(self, coef_flat: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Permute per-slot coefficients into CSR data order (so the
+        scatter applies them for free)."""
+        if self.order is None:
+            raise ValueError("fold permutation was dropped (fixed-coef plan)")
+        np.take(coef_flat, self.order, out=out, mode="clip")
+        return out
+
+    def drop_order(self) -> None:
+        """Free the int64 fold permutation once coefficients are folded
+        for good (fixed-coefficient operators); the int32 ``indices``
+        copy keeps serving the scatter."""
+        self.order = None
+
+    def scatter_acc(
+        self, data: np.ndarray, x: np.ndarray, y: np.ndarray
+    ) -> np.ndarray:
+        """``y[row] += data * x[slot]`` over the planned slots.
+
+        ``x`` may be ``(nnz,)`` or ``(nnz, ncomp)`` (with matching
+        ``y``): a 2D block scatters all components of a slot in one
+        pass — one indirect lookup per slot instead of per value.
+        Allocation-free via scipy's C CSR matvec(s); the pure-scipy
+        fallback allocates small temporaries but is always available.
+        """
+        if self.nnz == 0:
+            return y
+        if _st is not None:
+            if x.ndim == 2:
+                _st.csr_matvecs(
+                    self.n, self.nnz, x.shape[1], self.indptr,
+                    self.indices, data, x.reshape(-1), y.reshape(-1),
+                )
+            else:
+                _st.csr_matvec(
+                    self.n, self.nnz, self.indptr, self.indices, data, x, y
+                )
+        else:  # pragma: no cover - exercised only without _sparsetools
+            if self._rows is None:
+                self._rows = np.repeat(
+                    np.arange(self.n, dtype=np.int64),
+                    np.diff(self.indptr).astype(np.int64),
+                )
+            if x.ndim == 2:
+                contrib = data[:, None] * x[self.indices]
+                for c in range(x.shape[1]):
+                    y[:, c] += np.bincount(
+                        self._rows, weights=contrib[:, c], minlength=self.n
+                    )
+            else:
+                contrib = data * x[self.indices]
+                y += np.bincount(
+                    self._rows, weights=contrib, minlength=self.n
+                )
+        return y
+
+    def workspace_bytes(self) -> int:
+        n = self.indptr.nbytes + self.indices.nbytes
+        if self.order is not None:
+            n += self.order.nbytes
+        if self._rows is not None:  # pragma: no cover
+            n += self._rows.nbytes
+        return n
+
+
+def spmv_acc(A, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """``y += A @ x`` for a CSR matrix ``A``; ``x``/``y`` may be 1D or
+    C-contiguous 2D (multiple right-hand sides).  Allocation-free when
+    scipy's C kernels are importable."""
+    M, N = A.shape
+    if _st is not None:
+        if x.ndim == 2:
+            _st.csr_matvecs(
+                M, N, x.shape[1], A.indptr, A.indices, A.data,
+                x.reshape(-1), y.reshape(-1),
+            )
+        else:
+            _st.csr_matvec(M, N, A.indptr, A.indices, A.data, x, y)
+    else:  # pragma: no cover - exercised only without _sparsetools
+        y += A @ x
+    return y
+
+
+def spmv_into(A, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """``y[:] = A @ x`` into a caller-owned buffer."""
+    y.fill(0.0)
+    return spmv_acc(A, x, y)

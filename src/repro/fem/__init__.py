@@ -22,6 +22,7 @@ from repro.fem.hex_element import (
 )
 from repro.fem.scalar_element import (
     scalar_mass_reference,
+    scalar_stiffness_diag,
     scalar_stiffness_reference,
 )
 from repro.fem.tet_element import tet_elastic_stiffness, tet_lumped_mass
@@ -35,6 +36,7 @@ __all__ = [
     "hex_elastic_reference",
     "hex_lumped_mass_factor",
     "scalar_stiffness_reference",
+    "scalar_stiffness_diag",
     "scalar_mass_reference",
     "tet_elastic_stiffness",
     "tet_lumped_mass",

@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from repro.backend import get_backend
 from repro.fem.hex_element import hex_elastic_reference, hex_lumped_mass_factor
 
 
@@ -58,22 +59,39 @@ class ElasticOperator:
         )
         self._dof_flat = dof.ravel()
         self._ndof = 3 * self.nnode
+        # fused gather/apply/scatter kernel from the active backend; the
+        # material coefficients are fixed, so they fold into the scatter
+        self._kernel = get_backend().element_kernel(
+            self.conn, (K_l, K_m), self.nnode, ncomp=3,
+            coefs=(self.c_lam, self.c_mu),
+        )
 
-    def matvec(self, u: np.ndarray) -> np.ndarray:
-        """Apply the stiffness: ``u`` is ``(nnode, 3)``; returns same."""
-        U = u.reshape(self.nnode, 3)[self.conn].reshape(self.nelem, 24)
-        Y = (U @ self.K_l.T) * self.c_lam[:, None]
-        Y += (U @ self.K_m.T) * self.c_mu[:, None]
-        out = np.bincount(self._dof_flat, weights=Y.ravel(), minlength=self._ndof)
-        return out.reshape(self.nnode, 3)
+    def matvec(self, u: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Apply the stiffness: ``u`` is ``(nnode, 3)``; returns same.
 
-    def diagonal(self) -> np.ndarray:
+        Pass a preallocated C-contiguous ``out`` to make the call
+        allocation-free (the solvers' hot loops do)."""
+        if out is None:
+            out = np.empty((self.nnode, 3))
+        elif not out.flags.c_contiguous:
+            raise ValueError("out must be C-contiguous")
+        self._kernel.matvec(
+            np.ascontiguousarray(u).reshape(-1), out.reshape(-1)
+        )
+        return out
+
+    def diagonal(self, out: np.ndarray | None = None) -> np.ndarray:
         """Diagonal of the assembled stiffness, shape ``(nnode, 3)``."""
-        d_l = np.diag(self.K_l)
-        d_m = np.diag(self.K_m)
-        D = self.c_lam[:, None] * d_l[None, :] + self.c_mu[:, None] * d_m[None, :]
-        out = np.bincount(self._dof_flat, weights=D.ravel(), minlength=self._ndof)
-        return out.reshape(self.nnode, 3)
+        if out is None:
+            out = np.empty((self.nnode, 3))
+        elif not out.flags.c_contiguous:
+            raise ValueError("out must be C-contiguous")
+        self._kernel.diagonal(out.reshape(-1))
+        return out
+
+    def workspace_bytes(self) -> int:
+        """Bytes held by the kernel's precomputed plan and buffers."""
+        return self._kernel.workspace_bytes()
 
     @property
     def flops_per_matvec(self) -> int:

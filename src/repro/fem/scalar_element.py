@@ -20,15 +20,31 @@ from repro.fem.shape import gauss_points_weights, shape_functions, shape_gradien
 @lru_cache(maxsize=None)
 def scalar_stiffness_reference(d: int) -> np.ndarray:
     """Unit-cube scalar stiffness ``int grad N_i . grad N_j`` of shape
-    ``(2**d, 2**d)``."""
+    ``(2**d, 2**d)``.  The cached array is shared by every caller
+    (backend kernels keep references), so it is frozen read-only."""
     pts, w = gauss_points_weights(d, n=2)
     g = shape_gradients(pts, d)
-    return np.einsum("q,qia,qja->ij", w, g, g)
+    K = np.einsum("q,qia,qja->ij", w, g, g)
+    K.flags.writeable = False
+    return K
+
+
+@lru_cache(maxsize=None)
+def scalar_stiffness_diag(d: int) -> np.ndarray:
+    """Diagonal of :func:`scalar_stiffness_reference`, cached so hot
+    paths (Jacobi scaling, diagonal preconditioners) never re-extract
+    it per call."""
+    diag = np.ascontiguousarray(np.diag(scalar_stiffness_reference(d)))
+    diag.flags.writeable = False
+    return diag
 
 
 @lru_cache(maxsize=None)
 def scalar_mass_reference(d: int) -> np.ndarray:
-    """Unit-cube scalar consistent mass ``int N_i N_j``."""
+    """Unit-cube scalar consistent mass ``int N_i N_j``.  Shared and
+    read-only, like the stiffness."""
     pts, w = gauss_points_weights(d, n=2)
     N = shape_functions(pts, d)
-    return np.einsum("q,qi,qj->ij", w, N, N)
+    M = np.einsum("q,qi,qj->ij", w, N, N)
+    M.flags.writeable = False
+    return M

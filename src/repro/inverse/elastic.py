@@ -31,6 +31,7 @@ from typing import Callable, Sequence
 import numpy as np
 import scipy.sparse as sp
 
+from repro.backend import get_backend
 from repro.fem.assembly import lumped_mass
 from repro.fem.hex_element import hex_elastic_reference
 from repro.inverse.parametrization import MaterialGrid
@@ -55,15 +56,29 @@ class _ElasticKernel:
         )
         self._dof_flat = dof.ravel()
         self._dof = dof
-
-    def apply_K(self, lam_e, mu_e, u: np.ndarray) -> np.ndarray:
-        U = u.reshape(self.nnode, 3)[self.conn].reshape(self.nelem, 24)
-        Y = (U @ self.K_l.T) * (lam_e * self.h)[:, None]
-        Y += (U @ self.K_m.T) * (mu_e * self.h)[:, None]
-        out = np.bincount(
-            self._dof_flat, weights=Y.ravel(), minlength=3 * self.nnode
+        # coefficient-per-call kernel: the inversion evaluates many
+        # material iterates through the same gather/scatter plan
+        self._kernel = get_backend().element_kernel(
+            self.conn, (K_l, K_m), self.nnode, ncomp=3
         )
-        return out.reshape(self.nnode, 3)
+        self._c_lam = np.empty(self.nelem)
+        self._c_mu = np.empty(self.nelem)
+
+    def apply_K(
+        self, lam_e, mu_e, u: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        if out is None:
+            out = np.empty((self.nnode, 3))
+        elif not out.flags.c_contiguous:
+            raise ValueError("out must be C-contiguous")
+        np.multiply(np.asarray(lam_e, float), self.h, out=self._c_lam)
+        np.multiply(np.asarray(mu_e, float), self.h, out=self._c_mu)
+        self._kernel.matvec(
+            np.ascontiguousarray(u).reshape(-1),
+            out.reshape(-1),
+            coefs=(self._c_lam, self._c_mu),
+        )
+        return out
 
     def K_material_gradient_batch(
         self, u: np.ndarray, lam_adj: np.ndarray
@@ -234,28 +249,38 @@ class ElasticInverseProblem:
     # ------------------------------------------------------------ forward
 
     def _march(self, lam_e, mu_e, forcing, *, store=True):
-        """Vector leapfrog, same convention as the scalar substrate."""
+        """Vector leapfrog, same convention as the scalar substrate.
+
+        Fused in-place update with buffer rotation: the steady-state
+        loop performs no per-step O(nnode) heap allocations."""
         dt = self.dt
+        dt2 = dt * dt
         N = self.nsteps
         C = self.boundary.damping_diag(lam_e, mu_e, self.rho_e)
-        a_plus = self.mass + 0.5 * dt * C
+        inv_a_plus = 1.0 / (self.mass + 0.5 * dt * C)
         a_minus = self.mass - 0.5 * dt * C
+        m2 = 2.0 * self.mass
         nnode = self.mesh.nnode
         x_prev = np.zeros((nnode, 3))
         x = np.zeros((nnode, 3))
+        x_next = np.zeros((nnode, 3))
+        r = np.empty((nnode, 3))
+        Kx = np.empty((nnode, 3))
         hist = np.zeros((N + 1, nnode, 3)) if store else None
         for k in range(1, N):
             f = forcing(k)
-            r = 2.0 * self.mass * x - dt**2 * self.kernel.apply_K(
-                lam_e, mu_e, x
-            )
-            r -= a_minus * x_prev
+            self.kernel.apply_K(lam_e, mu_e, x, out=Kx)
+            np.multiply(m2, x, out=r)
+            np.multiply(Kx, dt2, out=Kx)
+            np.subtract(r, Kx, out=r)
+            np.multiply(a_minus, x_prev, out=Kx)
+            np.subtract(r, Kx, out=r)
             if f is not None:
-                r = r + f
-            x_next = r / a_plus
+                np.add(r, f, out=r)
+            np.multiply(r, inv_a_plus, out=x_next)
             if store:
                 hist[k + 1] = x_next
-            x_prev, x = x, x_next
+            x_prev, x, x_next = x, x_next, x_prev
         self.n_wave_solves += 1
         return hist if store else np.stack([x_prev, x])
 

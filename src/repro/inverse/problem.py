@@ -231,12 +231,14 @@ class ScalarWaveInverseProblem:
         of the absorbing boundary are unchanged (paper eq. 3.3).
         """
         N = self.nsteps
+        # single reusable forcing buffer: only the receiver entries are
+        # ever nonzero, so overwriting them each step keeps it correct
+        fbuf = np.zeros(self.solver.nnode)
 
         def forcing(mrev: int):
             j = N + 1 - mrev
-            f = np.zeros(self.solver.nnode)
-            f[self.receivers] = -self.dt * rhs_series[j]
-            return f
+            fbuf[self.receivers] = -self.dt * rhs_series[j]
+            return fbuf
 
         x = self.solver.march(mu_e, forcing, N, self.dt, store=True)
         self.n_wave_solves += 1
@@ -363,12 +365,12 @@ class ScalarWaveInverseProblem:
         # carries lam^{N+2-mrev}; the material terms for k = N+1-mrev
         # need u^{k-1}, u^k, u^{k+1}
         g_e = np.zeros(solver.nelem)
+        adj_fbuf = np.zeros(solver.nnode)
 
         def adj_forcing(mrev):
             j = N + 1 - mrev
-            f = np.zeros(solver.nnode)
-            f[self.receivers] = -dt * residual_adj[j]
-            return f
+            adj_fbuf[self.receivers] = -dt * residual_adj[j]
+            return adj_fbuf
 
         def adj_on_step(mrev, x):
             j = N + 2 - mrev  # lam index

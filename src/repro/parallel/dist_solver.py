@@ -96,22 +96,34 @@ class DistributedWaveSolver:
         world = self.world
         dist = self.dist
         dt = self.dt
+        dt2 = dt * dt
         nsteps = int(np.ceil(t_end / dt))
         ranks = dist.ranks
-        nr = len(ranks)
+        # hoisted per-rank invariants and preallocated buffers: the
+        # step loop is fully in-place (matching the serial solver)
+        m2 = [2.0 * m for m in self.m_local]
+        inv_A = [
+            1.0 / (m + 0.5 * dt * C)
+            for m, C in zip(self.m_local, self.C_local)
+        ]
+        prev_coef = [
+            -m + 0.5 * dt * C
+            for m, C in zip(self.m_local, self.C_local)
+        ]
         u_prev = [np.zeros((len(rp.nodes), 3)) for rp in ranks]
         u = [np.zeros((len(rp.nodes), 3)) for rp in ranks]
+        u_next = [np.zeros((len(rp.nodes), 3)) for rp in ranks]
+        Ku = [np.empty((len(rp.nodes), 3)) for rp in ranks]
+        tmp = [np.empty((len(rp.nodes), 3)) for rp in ranks]
         comms = world.comms()
 
         for k in range(nsteps):
             t = k * dt
             b_global = force_fn(t)
             # superstep 1: local stiffness products
-            Ku = []
             for r, rp in enumerate(ranks):
-                y = dist.ops[r].matvec(u[r])
+                dist.ops[r].matvec(u[r], out=Ku[r])
                 world.stats[r].flops += dist.ops[r].flops_per_matvec
-                Ku.append(y)
             # superstep 2: interface exchange of partial sums
             for r, rp in enumerate(ranks):
                 for o, (loc, _) in rp.shared_with.items():
@@ -122,14 +134,17 @@ class DistributedWaveSolver:
                     world.stats[r].flops += 3 * len(loc)
             # superstep 3: local update (nodal data already consistent)
             for r, rp in enumerate(ranks):
-                m = self.m_local[r]
-                C = self.C_local[r]
-                rhs = 2.0 * m * u[r] - dt**2 * Ku[r]
-                rhs += (-m + 0.5 * dt * C) * u_prev[r]
+                rhs, t_r = Ku[r], tmp[r]
+                np.multiply(rhs, -dt2, out=rhs)
+                np.multiply(m2[r], u[r], out=t_r)
+                np.add(rhs, t_r, out=rhs)
+                np.multiply(prev_coef[r], u_prev[r], out=t_r)
+                np.add(rhs, t_r, out=rhs)
                 if b_global is not None:
-                    rhs += dt**2 * b_global[rp.nodes]
-                u_next = rhs / (m + 0.5 * dt * C)
-                u_prev[r], u[r] = u[r], u_next
+                    np.multiply(b_global[rp.nodes], dt2, out=t_r)
+                    np.add(rhs, t_r, out=rhs)
+                np.multiply(rhs, inv_A[r], out=u_next[r])
+                u_prev[r], u[r], u_next[r] = u[r], u_next[r], u_prev[r]
                 world.stats[r].flops += 15 * len(rp.nodes)
             if callback is not None:
                 callback(k, t, u)

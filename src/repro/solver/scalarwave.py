@@ -33,6 +33,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.backend import get_backend
 from repro.fem.scalar_element import scalar_stiffness_reference
 
 #: boundary classification helpers: (axis, side) pairs
@@ -89,6 +90,12 @@ class RegularGridScalarWave:
             absorbing.remove((self.d - 1, 0))  # free surface on top
         self.absorbing = tuple(absorbing)
         self._boundary = [self._boundary_face(a, s) for (a, s) in self.absorbing]
+        # fused stiffness kernel (coefficients vary per call: the
+        # inversion sweeps evaluate many material iterates)
+        self._kernel = get_backend().element_kernel(
+            self.conn, (self.K_ref,), self.nnode
+        )
+        self._coef = np.empty(self.nelem)
 
     # --------------------------------------------------------------- grid
 
@@ -138,17 +145,28 @@ class RegularGridScalarWave:
 
     # ----------------------------------------------------------- operators
 
-    def apply_K(self, mu: np.ndarray, u: np.ndarray) -> np.ndarray:
-        """Stiffness action ``K(mu) u`` for per-element ``mu``."""
-        coef = np.asarray(mu, dtype=float) * self.h ** (self.d - 2)
-        U = u[self.conn]
-        Y = (U @ self.K_ref.T) * coef[:, None]
-        return np.bincount(self._conn_flat, weights=Y.ravel(), minlength=self.nnode)
+    def apply_K(
+        self, mu: np.ndarray, u: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Stiffness action ``K(mu) u`` for per-element ``mu``.  Pass a
+        preallocated ``out`` to make the call allocation-free."""
+        np.multiply(
+            np.asarray(mu, dtype=float), self.h ** (self.d - 2),
+            out=self._coef,
+        )
+        if out is None:
+            out = np.empty(self.nnode)
+        self._kernel.matvec(
+            np.ascontiguousarray(u), out, coefs=(self._coef,)
+        )
+        return out
 
     def K_diagonal(self, mu: np.ndarray) -> np.ndarray:
-        coef = np.asarray(mu, dtype=float) * self.h ** (self.d - 2)
-        D = coef[:, None] * np.diag(self.K_ref)[None, :]
-        return np.bincount(self._conn_flat, weights=D.ravel(), minlength=self.nnode)
+        np.multiply(
+            np.asarray(mu, dtype=float), self.h ** (self.d - 2),
+            out=self._coef,
+        )
+        return self._kernel.diagonal(np.empty(self.nnode), coefs=(self._coef,))
 
     def K_material_gradient(
         self, u: np.ndarray, lam: np.ndarray
@@ -279,14 +297,16 @@ class RegularGridScalarWave:
         w = self.h ** (self.d - 1) / (1 << (self.d - 1))
         coef = 2.0 * np.sqrt(self.rho * mu[elems]) * w  # per face element
         flat = fnodes.ravel()
-        amp = np.repeat(coef, fnodes.shape[1])
+        amp = dt**2 * np.repeat(coef, fnodes.shape[1])
+        buf = np.zeros(self.nnode)  # reused: march only reads it
 
-        def forcing(k: int) -> np.ndarray:
+        def forcing(k: int) -> np.ndarray | None:
             v = float(incident_velocity(k * dt))
-            out = np.zeros(self.nnode)
-            if v != 0.0:
-                np.add.at(out, flat, dt**2 * amp * v)
-            return out
+            if v == 0.0:
+                return None
+            buf[flat] = 0.0
+            np.add.at(buf, flat, amp * v)
+            return buf
 
         return forcing
 
@@ -321,10 +341,20 @@ class RegularGridScalarWave:
         C = self.damping_diag(mu)
         if alpha is not None:
             C = C + self.volume_damping_diag(alpha)
-        a_plus = self.m + 0.5 * dt * C
+        # hoisted invariants: 2M, the inverse LHS diagonal (division ->
+        # multiply in the loop), and dt^2
+        inv_a_plus = 1.0 / (self.m + 0.5 * dt * C)
         a_minus = self.m - 0.5 * dt * C
+        m2 = 2.0 * self.m
+        dt2 = dt * dt
+        # per-call state/scratch buffers (march stays reentrant); the
+        # steady-state loop itself is in-place with buffer rotation —
+        # zero per-step O(nnode) allocations
         x_prev = np.zeros(self.nnode) if x0 is None else np.asarray(x0, float).copy()
         x = np.zeros(self.nnode) if x1 is None else np.asarray(x1, float).copy()
+        x_next = np.empty(self.nnode)
+        r = np.empty(self.nnode)
+        Kx = np.empty(self.nnode)
         hist = np.zeros((nsteps + 1, self.nnode)) if store else None
         if store:
             hist[0] = x_prev
@@ -334,15 +364,20 @@ class RegularGridScalarWave:
             on_step(1, x)
         for k in range(1, nsteps):
             f = forcing(k)
-            r = 2.0 * self.m * x - dt**2 * self.apply_K(mu, x) - a_minus * x_prev
+            self.apply_K(mu, x, out=Kx)
+            np.multiply(m2, x, out=r)
+            np.multiply(Kx, dt2, out=Kx)
+            np.subtract(r, Kx, out=r)
+            np.multiply(a_minus, x_prev, out=Kx)
+            np.subtract(r, Kx, out=r)
             if f is not None:
-                r = r + f
-            x_next = r / a_plus
+                np.add(r, f, out=r)
+            np.multiply(r, inv_a_plus, out=x_next)
             if store:
                 hist[k + 1] = x_next
             if on_step is not None:
                 on_step(k + 1, x_next)
-            x_prev, x = x, x_next
+            x_prev, x, x_next = x, x_next, x_prev
         if store:
             return hist
         return np.stack([x_prev, x])

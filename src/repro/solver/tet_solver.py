@@ -16,6 +16,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.backend import get_backend
 from repro.fem.tet_element import tet_elastic_stiffness, tet_lumped_mass
 from repro.io.seismogram import ReceiverArray, Seismograms
 from repro.mesh.hexmesh import HexMesh
@@ -65,6 +66,11 @@ class TetWaveSolver:
             self.tet.conn[:, :, None] * 3 + np.arange(3)[None, None, :]
         ).reshape(self.tet.nelem, 12)
         self._dof_flat = self._dof.ravel()
+        # per-element dense matrices: the varying-matrix kernel (no
+        # shared reference matrix exists for the 6-tet split)
+        self._kernel = get_backend().varmat_kernel(
+            self.tet.conn, self.Ke, self.tet.nnode, ncomp=3
+        )
         self.flops = FlopCounter()
 
     @property
@@ -74,18 +80,21 @@ class TetWaveSolver:
     def memory_bytes(self) -> int:
         n = self.Ke.nbytes  # dominant: per-element dense stiffness
         n += self.tet.conn.nbytes
-        n += 8 * 3 * self.nnode * 4
-        n += self.m.nbytes
+        n += self._kernel.workspace_bytes()
+        n += 8 * 3 * self.nnode * 6  # u_prev, u, u_next, r, tmp, fbuf
+        n += self.m.nbytes + self.C_diag.nbytes
         return n
 
-    def matvec(self, u: np.ndarray) -> np.ndarray:
-        U = u.ravel()[self._dof]  # (ntet, 12)
-        Y = np.einsum("eij,ej->ei", self.Ke, U)
-        out = np.bincount(
-            self._dof_flat, weights=Y.ravel(), minlength=3 * self.nnode
+    def matvec(self, u: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        if out is None:
+            out = np.empty((self.nnode, 3))
+        elif not out.flags.c_contiguous:
+            raise ValueError("out must be C-contiguous")
+        self._kernel.matvec(
+            np.ascontiguousarray(u).reshape(-1), out.reshape(-1)
         )
         self.flops.add("stiffness", self.tet.nelem * 2 * 12 * 12)
-        return out.reshape(self.nnode, 3)
+        return out
 
     def run(
         self,
@@ -96,12 +105,20 @@ class TetWaveSolver:
         record: str = "velocity",
     ) -> Seismograms | None:
         dt = self.dt
+        dt2 = dt * dt
         nsteps = int(np.ceil(t_end / dt))
         nnode = self.nnode
         m = self.m[:, None]
-        A = m + 0.5 * dt * self.C_diag
+        # hoisted invariants and preallocated buffers: the loop is
+        # fully in-place, matching the hexahedral solver
+        m2 = 2.0 * m
+        inv_A = 1.0 / (m + 0.5 * dt * self.C_diag)
+        prev_coef = -m + 0.5 * dt * self.C_diag
         u_prev = np.zeros((nnode, 3))
         u = np.zeros((nnode, 3))
+        u_next = np.zeros((nnode, 3))
+        r = np.empty((nnode, 3))
+        tmp = np.empty((nnode, 3))
         if hasattr(forces, "forces_at"):
             force_fn = lambda t, out: forces.forces_at(t, out)
         else:
@@ -110,15 +127,22 @@ class TetWaveSolver:
         data = receivers.allocate(3, nsteps) if receivers is not None else None
         for k in range(nsteps):
             t = k * dt
-            r = 2.0 * m * u - dt**2 * self.matvec(u)
-            r += -m * u_prev + 0.5 * dt * self.C_diag * u_prev
+            self.matvec(u, out=tmp)
+            np.multiply(m2, u, out=r)
+            np.multiply(tmp, dt2, out=tmp)
+            np.subtract(r, tmp, out=r)
+            np.multiply(prev_coef, u_prev, out=tmp)
+            np.add(r, tmp, out=r)
             b = force_fn(t, fbuf)
             if b is not None:
-                r += dt**2 * b
-            u_next = r / A
+                np.multiply(b, dt2, out=tmp)
+                np.add(r, tmp, out=r)
+            np.multiply(r, inv_A, out=u_next)
             if receivers is not None:
                 if record == "velocity":
-                    data[:, :, k] = (u_next - u_prev)[receivers.nodes] / (2 * dt)
+                    data[:, :, k] = (
+                        u_next[receivers.nodes] - u_prev[receivers.nodes]
+                    ) / (2 * dt)
                 else:
                     data[:, :, k] = u[receivers.nodes]
             u_prev, u, u_next = u, u_next, u_prev

@@ -24,6 +24,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.backend import spmv_acc, spmv_into
 from repro.fem.assembly import ElasticOperator, lumped_mass
 from repro.fem.damping import rayleigh_coefficients
 from repro.io.seismogram import ReceiverArray, Seismograms
@@ -99,9 +100,13 @@ class ElasticWaveSolver:
             self.Kb = ElasticOperator(
                 mesh.conn, h, lam * beta_e, mu * beta_e, mesh.nnode
             )
+            #: hoisted out of the time loop: the diagonal is a full
+            #: O(nelem) scatter, constant across steps
+            self.Kb_diag = self.Kb.diagonal()
             self.m_alpha = lumped_mass(mesh.conn, h, rho * alpha_e, mesh.nnode)
         else:
             self.Kb = None
+            self.Kb_diag = None
             self.m_alpha = np.zeros(mesh.nnode)
 
         # Stacey absorbing boundaries
@@ -132,12 +137,16 @@ class ElasticWaveSolver:
         # LHS diagonal of eq. (2.4)
         A = (self.m + 0.5 * dt_ * self.m_alpha)[:, None] + 0.5 * dt_ * self.C_diag
         if self.Kb is not None:
-            A = A + 0.5 * dt_ * self.Kb.diagonal()
+            A = A + 0.5 * dt_ * self.Kb_diag
         self.A = A
         # row-sum (lumped) projection of the diagonal LHS: hanging-node
         # mass is distributed to the masters by the constraint weights,
         # which conserves mass and "preserves the diagonality of A"
         self.A_bar = self.BT @ A
+        self._inv_A_bar = 1.0 / self.A_bar
+        # c1 coupling pre-scaled by -dt^2 so the time loop accumulates
+        # it into the residual with one sparse product, no temporaries
+        self._K_AB_mdt2 = (self.K_AB * (-(dt_**2))).tocsr()
         self.flops = FlopCounter()
 
     @property
@@ -146,13 +155,27 @@ class ElasticWaveSolver:
 
     def memory_bytes(self) -> int:
         """Solver working-set estimate (the paper's ~10x hex-vs-tet
-        memory claim is measured from this and the tet counterpart)."""
+        memory claim is measured from this and the tet counterpart):
+        everything the solver actually holds — connectivity, kernel
+        workspace, state/force/scratch buffers, LHS diagonals, and the
+        sparse boundary/constraint structures."""
         n = 0
         n += self.mesh.conn.nbytes
         n += 8 * (2 * self.mesh.nelem)  # material coefficient vectors
-        n += 8 * 3 * self.nnode * 5  # u_prev, u, u_next, rhs, cached Kb u
-        n += 8 * self.nnode * 2  # masses
-        n += self.A.nbytes
+        n += self.K.workspace_bytes()  # gather/scatter plan + buffers
+        # time-loop vectors: u_prev, u, u_next, r, Ku, tmp, fbuf
+        nvec = 7
+        if self.Kb is not None:
+            n += self.Kb.workspace_bytes()
+            n += self.Kb_diag.nbytes
+            nvec += 2  # kb_u, kb_u_prev caches
+        n += 8 * 3 * self.nnode * nvec
+        n += self.m.nbytes + self.m_alpha.nbytes
+        n += self.A.nbytes + self.A_bar.nbytes + self._inv_A_bar.nbytes
+        n += self.C_diag.nbytes
+        for S in (self.K_AB, self._K_AB_mdt2, self.B, self.BT):
+            n += S.data.nbytes + S.indices.nbytes + S.indptr.nbytes
+        n += 8 * 3 * self.A_bar.shape[0]  # projected residual buffer
         return n
 
     def run(
@@ -171,12 +194,25 @@ class ElasticWaveSolver:
         or a :class:`repro.sources.fault.SourceCollection`.
         """
         dt = self.dt
+        dt2 = dt * dt
+        hd = 0.5 * dt
         nsteps = int(np.ceil(t_end / dt))
         nnode = self.nnode
         m = self.m[:, None]
         m_alpha = self.m_alpha[:, None]
+        # hoisted loop invariants: 2M for the leading term and the full
+        # u^{k-1} coefficient (mass, Rayleigh alpha, boundary damping)
+        m2 = 2.0 * m
+        prev_coef = (hd * m_alpha - m) + hd * self.C_diag
+        # preallocated state and scratch buffers; the loop below is
+        # in-place throughout — no per-step O(nnode) heap allocations
         u_prev = np.zeros((nnode, 3))
         u = np.zeros((nnode, 3))
+        u_next = np.zeros((nnode, 3))
+        r = np.empty((nnode, 3))
+        Ku = np.empty((nnode, 3))
+        tmp = np.empty((nnode, 3))
+        r_bar = np.empty((self.A_bar.shape[0], 3))
         if hasattr(forces, "forces_at"):
             force_fn = lambda t, out: forces.forces_at(t, out)
         else:
@@ -185,36 +221,47 @@ class ElasticWaveSolver:
 
         data = receivers.allocate(3, nsteps) if receivers is not None else None
         kb_u_prev = np.zeros((nnode, 3))  # beta K u^{k-1}, cached
+        kb_u = np.empty((nnode, 3))
 
         for k in range(nsteps):
             t = k * dt
-            Ku = self.K.matvec(u)
+            self.K.matvec(u, out=Ku)
             self.flops.add("stiffness", self.K.flops_per_matvec)
-            r = 2.0 * m * u - dt**2 * Ku
+            np.multiply(m2, u, out=r)
+            np.multiply(Ku, dt2, out=Ku)
+            np.subtract(r, Ku, out=r)
             if self._has_kab:
-                r -= dt**2 * (self.K_AB @ u.ravel()).reshape(nnode, 3)
+                # r += (-dt^2 K_AB) u, prescaled at setup
+                spmv_acc(self._K_AB_mdt2, u.reshape(-1), r.reshape(-1))
             if self.Kb is not None:
-                kb_u = self.Kb.matvec(u)
+                self.Kb.matvec(u, out=kb_u)
                 self.flops.add("stiffness", self.Kb.flops_per_matvec)
-                kb_diag_u = self.Kb.diagonal() * u
-                r -= 0.5 * dt * (kb_u - kb_diag_u)
-                r += 0.5 * dt * kb_u_prev
+                # r -= (dt/2)(Kb u - diag(Kb) u) + (dt/2) Kb u^{k-1}
+                np.multiply(kb_u, hd, out=tmp)
+                np.subtract(r, tmp, out=r)
+                np.multiply(self.Kb_diag, u, out=tmp)
+                np.multiply(tmp, hd, out=tmp)
+                np.add(r, tmp, out=r)
+                np.multiply(kb_u_prev, hd, out=tmp)
+                np.add(r, tmp, out=r)
                 kb_u_prev, kb_u = kb_u, kb_u_prev
-            r += (0.5 * dt * m_alpha - m) * u_prev
-            r += 0.5 * dt * self.C_diag * u_prev
+            np.multiply(prev_coef, u_prev, out=tmp)
+            np.add(r, tmp, out=r)
             b = force_fn(t, fbuf)
             if b is not None:
-                r += dt**2 * b
+                np.multiply(b, dt2, out=tmp)
+                np.add(r, tmp, out=r)
             # hanging-node projection keeps the update explicit (2.5)
-            r_bar = self.BT @ r
-            u_next = self.B @ (r_bar / self.A_bar)
+            spmv_into(self.BT, r, r_bar)
+            np.multiply(r_bar, self._inv_A_bar, out=r_bar)
+            spmv_into(self.B, r_bar, u_next)
             self.flops.add("update", 12 * nnode)
 
             if receivers is not None:
                 if record == "velocity":
-                    data[:, :, k] = (u_next - u_prev)[receivers.nodes] / (
-                        2.0 * dt
-                    )
+                    data[:, :, k] = (
+                        u_next[receivers.nodes] - u_prev[receivers.nodes]
+                    ) / (2.0 * dt)
                 else:
                     data[:, :, k] = u[receivers.nodes]
             if snapshots is not None:
