@@ -61,7 +61,8 @@ def _csr_scatter_acc(indptr, indices, data, X, Y):  # pragma: no cover
 
 class NumbaElementKernel(NumpyElementKernel):
     """Shared-matrix kernel with jitted apply and scatter (plan
-    construction and coefficient folding reuse the numpy kernel)."""
+    construction, coefficient folding, and the overlap split reuse the
+    numpy kernel)."""
 
     def matvec(self, u_flat, out_flat, coefs=None):
         if coefs is not None:
@@ -75,6 +76,33 @@ class NumbaElementKernel(NumpyElementKernel):
         _csr_scatter_acc(
             self.plan.indptr, self.plan.indices, self._data, self._Yb,
             out_flat.reshape(self.nnode, self.ncomp),
+        )
+        return out_flat
+
+    def matvec_interface(self, u_flat, out_flat):
+        k = self.split_elems
+        if k is None:
+            raise ValueError("call set_split() before the phased matvec")
+        out_flat.fill(0.0)
+        if k == 0:
+            return out_flat
+        _apply_elements(self.dof[:k], self.MT, u_flat, self._Y[:k])
+        _csr_scatter_acc(
+            self._plan_lo.indptr, self._plan_lo.indices, self._data_lo,
+            self._Yb, out_flat.reshape(self.nnode, self.ncomp),
+        )
+        return out_flat
+
+    def matvec_interior(self, u_flat, out_flat):
+        k = self.split_elems
+        if k is None:
+            raise ValueError("call set_split() before the phased matvec")
+        if k >= self.nelem:
+            return out_flat
+        _apply_elements(self.dof[k:], self.MT, u_flat, self._Y[k:])
+        _csr_scatter_acc(
+            self._plan_hi.indptr, self._plan_hi.indices, self._data_hi,
+            self._Yb, out_flat.reshape(self.nnode, self.ncomp),
         )
         return out_flat
 

@@ -102,11 +102,73 @@ class NumpyElementKernel:
             ).reshape(self.nmat * self.ncorner, self.ncomp)
         )
         self._fixed = coefs is not None
+        self.split_elems = None
+        self._plan_lo = self._plan_hi = None
+        self._data_lo = self._data_hi = None
         if self._fixed:
             # fold once, then free what only refolding would need
             self._fold(coefs)
             self._coef = None
             self.plan.drop_order()
+
+    def set_split(self, nelem_lo: int) -> None:
+        """Enable the two-phase overlapped matvec: elements
+        ``[0, nelem_lo)`` (the caller orders interface elements first)
+        are applied by :meth:`matvec_interface`, the rest accumulated
+        by :meth:`matvec_interior`.  The scatter plan is split along
+        the same boundary, so the two phases together equal one full
+        :meth:`matvec` to roundoff (the scatter order is identical;
+        only BLAS shape-dependent summation in the block product can
+        differ in the last ulp) and are bit-reproducible run to run —
+        which is what makes the simulated and process transports
+        bit-comparable."""
+        nelem_lo = int(nelem_lo)
+        if not 0 <= nelem_lo <= self.nelem:
+            raise ValueError(
+                f"split {nelem_lo} outside [0, {self.nelem}] elements"
+            )
+        if not self._fixed:
+            raise ValueError(
+                "overlap split requires fixed (folded) coefficients"
+            )
+        cut = nelem_lo * self.nmat * self.ncorner  # slots element-major
+        plan_lo, plan_hi, mask_lo = self.plan.split(cut)
+        self.split_elems = nelem_lo
+        self._plan_lo, self._plan_hi = plan_lo, plan_hi
+        self._data_lo = np.ascontiguousarray(self._data[mask_lo])
+        self._data_hi = np.ascontiguousarray(self._data[~mask_lo])
+
+    def matvec_interface(self, u_flat, out_flat):
+        """Phase 1 of the overlapped matvec: zero ``out`` and apply
+        the leading (interface) elements only, completing the local
+        partial sums on every boundary node."""
+        k = self.split_elems
+        if k is None:
+            raise ValueError("call set_split() before the phased matvec")
+        out_flat.fill(0.0)
+        if k == 0:
+            return out_flat
+        np.take(u_flat, self.dof[:k], out=self._U[:k], mode="clip")
+        np.dot(self._U[:k], self.MT, out=self._Y[:k])
+        self._plan_lo.scatter_acc(
+            self._data_lo, self._Yb, out_flat.reshape(self.nnode, self.ncomp)
+        )
+        return out_flat
+
+    def matvec_interior(self, u_flat, out_flat):
+        """Phase 2: accumulate the trailing (interior) elements into
+        ``out`` — the work the ghost exchange hides behind."""
+        k = self.split_elems
+        if k is None:
+            raise ValueError("call set_split() before the phased matvec")
+        if k >= self.nelem:
+            return out_flat
+        np.take(u_flat, self.dof[k:], out=self._U[k:], mode="clip")
+        np.dot(self._U[k:], self.MT, out=self._Y[k:])
+        self._plan_hi.scatter_acc(
+            self._data_hi, self._Yb, out_flat.reshape(self.nnode, self.ncomp)
+        )
+        return out_flat
 
     def _fold(self, coefs) -> None:
         for i, c in enumerate(coefs):
@@ -160,6 +222,10 @@ class NumpyElementKernel:
             n += self.conn.nbytes
         if self._coef is not None:
             n += self._coef.nbytes
+        if self.split_elems is not None:
+            n += self._data_lo.nbytes + self._data_hi.nbytes
+            n += self._plan_lo.workspace_bytes()
+            n += self._plan_hi.workspace_bytes()
         return n + self.plan.workspace_bytes()
 
 

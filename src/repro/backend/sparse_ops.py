@@ -50,6 +50,10 @@ class ScatterPlan:
         idx = np.asarray(idx, dtype=np.int64).ravel()
         self.n = int(n)
         self.nnz = int(idx.size)
+        #: width of the source slot space the CSR indices refer to;
+        #: equals ``nnz`` for a full plan, and stays at the parent's
+        #: width for the sub-plans produced by :meth:`split`
+        self.ncols = self.nnz
         #: stable source permutation sorting slots by destination; used
         #: both as the CSR column indices and to permute folded data
         self.order = np.argsort(idx, kind="stable")
@@ -76,6 +80,47 @@ class ScatterPlan:
         np.take(coef_flat, self.order, out=out, mode="clip")
         return out
 
+    def split(self, cut: int):
+        """Split the plan at source-slot ``cut`` into two sub-plans.
+
+        ``plan_lo`` scatters only slots ``< cut`` and ``plan_hi`` the
+        rest; running them in sequence over the same slot block sums
+        every destination row in exactly the order of the full scatter
+        (the stable sort keeps slots ascending within a row, so the low
+        entries of every row are its leading entries).  This is what
+        lets the distributed solver scatter its interface elements
+        first (elements are ordered interface-first, so their slots are
+        a prefix), ship the boundary partial sums, and overlap the
+        interior scatter with the ghost exchange.
+
+        Returns ``(plan_lo, plan_hi, mask_lo)`` where ``mask_lo`` marks
+        the CSR entries (in this plan's data order) that went to
+        ``plan_lo`` — use it to split a folded data array the same way.
+        """
+        cut = int(cut)
+        if not 0 <= cut <= self.nnz:
+            raise ValueError(f"cut {cut} outside [0, {self.nnz}]")
+        mask_lo = self.indices < cut
+        rows = np.repeat(
+            np.arange(self.n, dtype=np.int64),
+            np.diff(self.indptr).astype(np.int64),
+        )
+        plans = []
+        for m in (mask_lo, ~mask_lo):
+            sub = ScatterPlan.__new__(ScatterPlan)
+            sub.n = self.n
+            sub.nnz = int(m.sum())
+            sub.ncols = self.ncols
+            sub.order = None  # sub-plans never fold; data comes masked
+            sub.indptr = np.zeros(self.n + 1, dtype=self.indptr.dtype)
+            sub.indptr[1:] = np.cumsum(
+                np.bincount(rows[m], minlength=self.n)
+            )
+            sub.indices = self.indices[m]
+            sub._rows = None
+            plans.append(sub)
+        return plans[0], plans[1], mask_lo
+
     def drop_order(self) -> None:
         """Free the int64 fold permutation once coefficients are folded
         for good (fixed-coefficient operators); the int32 ``indices``
@@ -98,12 +143,12 @@ class ScatterPlan:
         if _st is not None:
             if x.ndim == 2:
                 _st.csr_matvecs(
-                    self.n, self.nnz, x.shape[1], self.indptr,
+                    self.n, self.ncols, x.shape[1], self.indptr,
                     self.indices, data, x.reshape(-1), y.reshape(-1),
                 )
             else:
                 _st.csr_matvec(
-                    self.n, self.nnz, self.indptr, self.indices, data, x, y
+                    self.n, self.ncols, self.indptr, self.indices, data, x, y
                 )
         else:  # pragma: no cover - exercised only without _sparsetools
             if self._rows is None:

@@ -43,6 +43,7 @@ class ElasticOperator:
         lam: np.ndarray,
         mu: np.ndarray,
         nnode: int,
+        split_elems: int | None = None,
     ):
         self.conn = np.ascontiguousarray(conn, dtype=np.int64)
         self.nnode = int(nnode)
@@ -65,6 +66,9 @@ class ElasticOperator:
             self.conn, (K_l, K_m), self.nnode, ncomp=3,
             coefs=(self.c_lam, self.c_mu),
         )
+        self.split_elems = split_elems
+        if split_elems is not None:
+            self._kernel.set_split(split_elems)
 
     def matvec(self, u: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         """Apply the stiffness: ``u`` is ``(nnode, 3)``; returns same.
@@ -76,6 +80,26 @@ class ElasticOperator:
         elif not out.flags.c_contiguous:
             raise ValueError("out must be C-contiguous")
         self._kernel.matvec(
+            np.ascontiguousarray(u).reshape(-1), out.reshape(-1)
+        )
+        return out
+
+    def matvec_interface(self, u: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Phase 1 of the overlapped stiffness application (requires
+        ``split_elems``): zero ``out`` and apply only the leading
+        interface elements, so boundary partial sums are complete and
+        can be shipped while :meth:`matvec_interior_acc` runs."""
+        self._kernel.matvec_interface(
+            np.ascontiguousarray(u).reshape(-1), out.reshape(-1)
+        )
+        return out
+
+    def matvec_interior_acc(self, u: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Phase 2: accumulate the interior elements into ``out``.
+        ``matvec_interface`` + ``matvec_interior_acc`` equals a single
+        :meth:`matvec` to roundoff and is bit-reproducible across
+        runs and processes."""
+        self._kernel.matvec_interior(
             np.ascontiguousarray(u).reshape(-1), out.reshape(-1)
         )
         return out

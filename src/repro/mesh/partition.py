@@ -35,11 +35,18 @@ def rcb_partition(
     halves with element counts proportional to the number of parts on
     each side (so any ``nparts`` is supported, not only powers of two).
 
+    Unweighted splits use :func:`np.argpartition` selection — ``O(n)``
+    per level instead of the ``O(n log n)`` of a full sort, so the whole
+    recursion is ``O(n log P)`` rather than ``O(n log n log P)``.  With
+    explicit ``weights`` the weighted cut point needs the cumulative
+    weight profile, which requires the sorted order.
+
     Returns the part index (``0..nparts-1``) per element.
     """
     centroids = np.asarray(centroids, dtype=float)
     n = len(centroids)
-    if weights is None:
+    uniform = weights is None
+    if uniform:
         weights = np.ones(n)
     parts = np.zeros(n, dtype=np.int64)
     if nparts < 1:
@@ -53,13 +60,23 @@ def rcb_partition(
         extent = pts.max(axis=0) - pts.min(axis=0)
         axis = int(np.argmax(extent))
         p_lo = p // 2
-        w = weights[idx]
-        order = np.argsort(pts[:, axis], kind="stable")
-        cw = np.cumsum(w[order])
-        target = cw[-1] * (p_lo / p)
-        cut = int(np.searchsorted(cw, target)) + 1
-        cut = min(max(cut, 1), len(idx) - 1) if len(idx) > 1 else 0
-        lo, hi = idx[order[:cut]], idx[order[cut:]]
+        if len(idx) == 1:
+            lo, hi = idx[:0], idx
+        elif uniform:
+            # same cut index the cumsum/searchsorted form produces for
+            # unit weights, found by selection instead of sorting
+            cut = int(np.ceil(len(idx) * p_lo / p))
+            cut = min(max(cut, 1), len(idx) - 1)
+            sel = np.argpartition(pts[:, axis], cut - 1)
+            lo, hi = idx[sel[:cut]], idx[sel[cut:]]
+        else:
+            w = weights[idx]
+            order = np.argsort(pts[:, axis], kind="stable")
+            cw = np.cumsum(w[order])
+            target = cw[-1] * (p_lo / p)
+            cut = int(np.searchsorted(cw, target)) + 1
+            cut = min(max(cut, 1), len(idx) - 1)
+            lo, hi = idx[order[:cut]], idx[order[cut:]]
         split(lo, base, p_lo)
         split(hi, base + p_lo, p - p_lo)
 

@@ -1,32 +1,48 @@
-"""Simulated parallel execution (paper Section 2.4; see DESIGN.md).
+"""Parallel execution (paper Section 2.4; see DESIGN.md).
 
 The paper's scalability numbers come from 3000 AlphaServer processors
 on a Quadrics network.  We reproduce the *algorithmic* side exactly —
-element partitions, per-rank work, interface exchange volumes — with an
-in-process simulated MPI (:class:`SimWorld`), and convert the measured
-work/communication into wall time with a calibrated machine model
-(:class:`MachineModel`).  The distributed matvec is executed for real
-(rank by rank, ghost exchange and all) and verified to reproduce the
-serial operator bit-for-bit on shared nodes.
+element partitions, per-rank work, interface exchange volumes — behind
+a pluggable transport: the same SPMD solver runs over an in-process
+simulated MPI (:class:`SimWorld`, one core, measured traffic) or over
+persistent worker processes with shared-memory channels
+(:class:`ProcWorld`, N real cores, comm/compute overlap).  The two
+transports produce bit-identical trajectories and identical traffic
+statistics; the measured work/communication converts to wall time with
+a machine model (:class:`MachineModel`) calibrated either to LeMieux
+(:data:`ALPHASERVER_ES45`) or to the local transport
+(:func:`measure_transport` + :func:`machine_from_measurements`).
 """
 
-from repro.parallel.simcomm import SimWorld, SimComm
+from repro.parallel.simcomm import (
+    SimWorld,
+    SimComm,
+    TrafficStats,
+    binomial_rounds,
+)
+from repro.parallel.transport import ProcWorld, measure_transport
 from repro.parallel.decomposition import DistributedElasticOperator
 from repro.parallel.dist_solver import DistributedWaveSolver
 from repro.parallel.perfmodel import (
     MachineModel,
     ALPHASERVER_ES45,
     ScalabilityRow,
+    machine_from_measurements,
     predict_scalability,
 )
 
 __all__ = [
     "SimWorld",
     "SimComm",
+    "TrafficStats",
+    "binomial_rounds",
+    "ProcWorld",
+    "measure_transport",
     "DistributedElasticOperator",
     "DistributedWaveSolver",
     "MachineModel",
     "ALPHASERVER_ES45",
     "ScalabilityRow",
+    "machine_from_measurements",
     "predict_scalability",
 ]

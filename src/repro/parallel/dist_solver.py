@@ -1,12 +1,31 @@
-"""Distributed explicit wave propagation over simulated MPI.
+"""Distributed explicit wave propagation over a pluggable transport.
 
 The paper's solver is bulk-synchronous: per time step each rank applies
 its local element operator and exchanges interface partial sums.  This
-module executes that loop for real — per-rank state vectors, per-step
-ghost exchanges through :class:`repro.parallel.simcomm.SimComm`
-mailboxes — and is verified to reproduce the serial
-:class:`repro.solver.ElasticWaveSolver` trajectory bit-for-bit on
-conforming meshes (see tests).
+module executes that loop for real, with the comm/compute overlap the
+paper's machine model assumes — each step applies the **interface**
+elements first, posts the boundary sends, runs the **interior**
+elements while the messages are in flight, then receives and
+accumulates (see :mod:`repro.parallel.decomposition` for the
+interface-first element ordering and split scatter plans).
+
+The same schedule runs over either transport behind
+:class:`repro.parallel.simcomm.SimComm`:
+
+* :class:`repro.parallel.simcomm.SimWorld` — in-process mailboxes; the
+  parallel semantics execute for real on one core;
+* :class:`repro.parallel.transport.ProcWorld` — persistent worker
+  processes exchanging boundary data through double-buffered
+  shared-memory channels, so ``run()`` actually uses N cores.  Each
+  worker marches its own rank's full time loop; only boundary partial
+  sums and the final gathered displacement cross process boundaries.
+
+Both paths perform the identical per-rank arithmetic in the identical
+order (same phased matvec shapes, same sorted-neighbor accumulation,
+same deterministic lowest-owner gather), so their trajectories are
+bit-identical — the transport equivalence tests assert
+``np.array_equal``, and that the per-rank :class:`TrafficStats` match
+message for message.
 
 Scope: lumped mass, Lysmer absorbing damping (the ``c1`` coupling and
 hanging-node projection would add further interface reductions; the
@@ -15,18 +34,133 @@ accounting for those is already covered by the operator-level layer).
 
 from __future__ import annotations
 
+import inspect
+import time
 from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.fem.assembly import lumped_mass
+from repro.fem.assembly import ElasticOperator, lumped_mass
 from repro.mesh.hexmesh import HexMesh
 from repro.parallel.decomposition import DistributedElasticOperator
-from repro.parallel.simcomm import SimWorld
+from repro.parallel.transport import attach_shared_array, create_shared_array
 from repro.physics.cfl import stable_timestep
 from repro.physics.elastic import lame_from_velocities
 from repro.physics.stacey import stacey_boundary_matrices, stacey_coefficients
 from repro.solver.wave_solver import DEFAULT_ABSORBING
+
+
+def _hoist_update_terms(m_local, C_local, dt):
+    """Per-rank invariants of the central-difference update, computed
+    once (identically for both transports)."""
+    m2 = [2.0 * m for m in m_local]
+    inv_A = [1.0 / (m + 0.5 * dt * C) for m, C in zip(m_local, C_local)]
+    prev_coef = [-m + 0.5 * dt * C for m, C in zip(m_local, C_local)]
+    return m2, inv_A, prev_coef
+
+
+def _make_force_caller(force_fn, nnode: int):
+    """Wrap ``force_fn`` as ``t -> global force field``, reusing one
+    preallocated buffer when it supports the serial solver's
+    ``(t, out)`` convention — no per-step node-sized allocation."""
+    try:
+        params = [
+            p
+            for p in inspect.signature(force_fn).parameters.values()
+            if p.kind
+            in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD, p.VAR_POSITIONAL)
+        ]
+        takes_out = len(params) >= 2
+    except (TypeError, ValueError):  # builtins, odd callables
+        takes_out = False
+    if not takes_out:
+        return force_fn
+    buf = np.zeros((nnode, 3))
+    return lambda t: force_fn(t, buf)
+
+
+def _local_update(rhs, t_r, u, u_prev, u_next, m2, inv_A, prev_coef, b, dt2):
+    """One rank's in-place central-difference update.  Shared by the
+    in-process and worker-process paths so the arithmetic sequence is
+    bit-identical across transports."""
+    np.multiply(rhs, -dt2, out=rhs)
+    np.multiply(m2, u, out=t_r)
+    np.add(rhs, t_r, out=rhs)
+    np.multiply(prev_coef, u_prev, out=t_r)
+    np.add(rhs, t_r, out=rhs)
+    if b is not None:
+        np.multiply(b, dt2, out=t_r)
+        np.add(rhs, t_r, out=rhs)
+    np.multiply(rhs, inv_A, out=u_next)
+
+
+def _rank_program(comm, payload):
+    """SPMD rank program: one rank's full time loop, executed inside a
+    persistent worker over the shared-memory transport.
+
+    Boundary partial sums move through ``comm`` (double-buffered
+    channels: sends complete without waiting, so the interior matvec
+    genuinely overlaps the exchange); the final displacement lands in
+    the named shared result array, each rank writing the grid points it
+    is the lowest owner of.  Returns wall-time split into compute and
+    communication-wait for the scaling benchmark.
+    """
+    p = payload
+    op = ElasticOperator(
+        p["conn"], p["h"], p["lam"], p["mu"], p["nloc"],
+        split_elems=p["n_iface"],
+    )
+    neighbors = p["neighbors"]  # [(rank, local idx of shared nodes)]
+    m2, inv_A, prev_coef = p["m2"], p["inv_A"], p["prev_coef"]
+    dt, dt2, nsteps = p["dt"], p["dt"] * p["dt"], p["nsteps"]
+    force_fn = _make_force_caller(p["force_fn"], p["result"][1])
+    gnodes = p["gnodes"]
+    rank = comm.rank
+    nloc = p["nloc"]
+    u_prev = np.zeros((nloc, 3))
+    u = np.zeros((nloc, 3))
+    u_next = np.zeros((nloc, 3))
+    Ku = np.empty((nloc, 3))
+    tmp = np.empty((nloc, 3))
+    rbuf = {o: np.empty((len(loc), 3)) for o, loc in neighbors}
+    flops_mv = op.flops_per_matvec
+    t_compute = 0.0
+    t_wait = 0.0
+
+    for k in range(nsteps):
+        t = k * dt
+        t0 = time.perf_counter()
+        b_global = force_fn(t)
+        b = b_global[gnodes] if b_global is not None else None
+        op.matvec_interface(u, Ku)
+        comm.add_flops(flops_mv)
+        t1 = time.perf_counter()
+        for o, loc in neighbors:
+            comm.Send(Ku[loc], o, tag=rank)
+        t2 = time.perf_counter()
+        op.matvec_interior_acc(u, Ku)
+        t3 = time.perf_counter()
+        for o, loc in neighbors:
+            comm.Recv(o, tag=o, out=rbuf[o])
+        t4 = time.perf_counter()
+        for o, loc in neighbors:
+            Ku[loc] += rbuf[o]
+            comm.add_flops(3 * len(loc))
+        _local_update(
+            Ku, tmp, u, u_prev, u_next, m2, inv_A, prev_coef, b, dt2
+        )
+        u_prev, u, u_next = u, u_next, u_prev
+        comm.add_flops(15 * nloc)
+        t5 = time.perf_counter()
+        t_compute += (t1 - t0) + (t3 - t2) + (t5 - t4)
+        t_wait += (t2 - t1) + (t4 - t3)
+
+    name, nnode_global = p["result"]
+    shm, res = attach_shared_array(name, (nnode_global, 3))
+    res[p["gather_nodes"]] = u[p["gather_local"]]
+    del res  # drop the exported view before closing the mapping
+    shm.close()
+    return {"t_compute": t_compute, "t_wait": t_wait, "nsteps": nsteps}
 
 
 class DistributedWaveSolver:
@@ -36,6 +170,15 @@ class DistributedWaveSolver:
     quantities that must be globally consistent (mass, boundary
     damping) are interface-summed once at setup, and the stiffness
     partial sums are exchanged every step.
+
+    ``world`` selects the transport: a
+    :class:`~repro.parallel.simcomm.SimWorld` runs every rank
+    in-process (mailbox exchange, one core); a
+    :class:`~repro.parallel.transport.ProcWorld` dispatches the rank
+    programs to its persistent worker processes (shared-memory
+    exchange, N cores).  On the process transport ``force_fn`` must be
+    picklable (a module-level function or callable object) and
+    ``callback`` is not supported.
     """
 
     def __init__(
@@ -43,7 +186,7 @@ class DistributedWaveSolver:
         mesh: HexMesh,
         material,
         parts: np.ndarray,
-        world: SimWorld,
+        world,
         *,
         absorbing: Sequence[tuple[int, int]] = DEFAULT_ABSORBING,
         dt: float | None = None,
@@ -56,8 +199,11 @@ class DistributedWaveSolver:
             )
         self.mesh = mesh
         self.world = world
+        # one global material query, sliced per rank below (and again
+        # for the worker payloads) — never queried per rank
         vs, vp, rho = material.query(mesh.elem_centers)
         lam, mu = lame_from_velocities(vs, vp, rho)
+        self._lam, self._mu = lam, mu
         self.dist = DistributedElasticOperator(mesh, lam, mu, parts, world)
         self.dt = dt if dt is not None else stable_timestep(
             mesh.elem_h, vp, safety=cfl_safety
@@ -92,64 +238,129 @@ class DistributedWaveSolver:
         """March to ``t_end``; ``force_fn(t)`` returns the *global*
         nodal force field (each rank reads its slice, as if the sources
         had been assigned to owning ranks).  Returns the final global
-        displacement, gathered for verification."""
+        displacement, gathered deterministically (each grid point from
+        its lowest co-owning rank) for verification."""
+        nsteps = int(np.ceil(t_end / self.dt))
+        if hasattr(self.world, "run_spmd"):
+            if callback is not None:
+                raise ValueError(
+                    "callback is not supported on the process transport "
+                    "(state lives in the workers); use a SimWorld"
+                )
+            return self._run_proc(force_fn, nsteps)
+        return self._run_sim(force_fn, nsteps, callback)
+
+    # ------------------------------------------------- in-process path
+
+    def _run_sim(self, force_fn, nsteps, callback):
         world = self.world
         dist = self.dist
         dt = self.dt
         dt2 = dt * dt
-        nsteps = int(np.ceil(t_end / dt))
         ranks = dist.ranks
         # hoisted per-rank invariants and preallocated buffers: the
         # step loop is fully in-place (matching the serial solver)
-        m2 = [2.0 * m for m in self.m_local]
-        inv_A = [
-            1.0 / (m + 0.5 * dt * C)
-            for m, C in zip(self.m_local, self.C_local)
-        ]
-        prev_coef = [
-            -m + 0.5 * dt * C
-            for m, C in zip(self.m_local, self.C_local)
-        ]
+        m2, inv_A, prev_coef = _hoist_update_terms(
+            self.m_local, self.C_local, dt
+        )
         u_prev = [np.zeros((len(rp.nodes), 3)) for rp in ranks]
         u = [np.zeros((len(rp.nodes), 3)) for rp in ranks]
         u_next = [np.zeros((len(rp.nodes), 3)) for rp in ranks]
         Ku = [np.empty((len(rp.nodes), 3)) for rp in ranks]
         tmp = [np.empty((len(rp.nodes), 3)) for rp in ranks]
         comms = world.comms()
+        force = _make_force_caller(force_fn, self.mesh.nnode)
 
         for k in range(nsteps):
             t = k * dt
-            b_global = force_fn(t)
-            # superstep 1: local stiffness products
+            b_global = force(t)
+            # phase 1: interface elements -> boundary partials complete
             for r, rp in enumerate(ranks):
-                dist.ops[r].matvec(u[r], out=Ku[r])
+                dist.ops[r].matvec_interface(u[r], Ku[r])
                 world.stats[r].flops += dist.ops[r].flops_per_matvec
-            # superstep 2: interface exchange of partial sums
+            # phase 2: post all boundary sends
             for r, rp in enumerate(ranks):
                 for o, (loc, _) in rp.shared_with.items():
-                    comms[r].send(Ku[r][loc], o, tag=r)
+                    comms[r].Send(Ku[r][loc], o, tag=r)
+            # phase 3: interior elements (the work the exchange hides
+            # behind on the process transport)
+            for r, rp in enumerate(ranks):
+                dist.ops[r].matvec_interior_acc(u[r], Ku[r])
+            # phase 4: receive and accumulate partial sums
             for r, rp in enumerate(ranks):
                 for o, (loc, _) in rp.shared_with.items():
-                    Ku[r][loc] += comms[r].recv(o, tag=o)
+                    Ku[r][loc] += comms[r].Recv(o, tag=o)
                     world.stats[r].flops += 3 * len(loc)
-            # superstep 3: local update (nodal data already consistent)
+            # phase 5: local update (nodal data now consistent)
             for r, rp in enumerate(ranks):
-                rhs, t_r = Ku[r], tmp[r]
-                np.multiply(rhs, -dt2, out=rhs)
-                np.multiply(m2[r], u[r], out=t_r)
-                np.add(rhs, t_r, out=rhs)
-                np.multiply(prev_coef[r], u_prev[r], out=t_r)
-                np.add(rhs, t_r, out=rhs)
-                if b_global is not None:
-                    np.multiply(b_global[rp.nodes], dt2, out=t_r)
-                    np.add(rhs, t_r, out=rhs)
-                np.multiply(rhs, inv_A[r], out=u_next[r])
+                b = b_global[rp.nodes] if b_global is not None else None
+                _local_update(
+                    Ku[r], tmp[r], u[r], u_prev[r], u_next[r],
+                    m2[r], inv_A[r], prev_coef[r], b, dt2,
+                )
                 u_prev[r], u[r], u_next[r] = u[r], u_next[r], u_prev[r]
                 world.stats[r].flops += 15 * len(rp.nodes)
             if callback is not None:
                 callback(k, t, u)
 
-        out = np.zeros((self.mesh.nnode, 3))
-        for r, rp in enumerate(ranks):
-            out[rp.nodes] = u[r]
+        return dist.gather_field(u)
+
+    # --------------------------------------------- worker-process path
+
+    def _run_proc(self, force_fn, nsteps):
+        world = self.world
+        dist = self.dist
+        mesh = self.mesh
+        max_msg = max(
+            (
+                24 * len(loc)
+                for rp in dist.ranks
+                for (loc, _) in rp.shared_with.values()
+            ),
+            default=0,
+        )
+        if max_msg > world.slot_bytes:
+            raise ValueError(
+                f"largest interface message is {max_msg} bytes but the "
+                f"ProcWorld channels hold {world.slot_bytes}; rebuild the "
+                f"world with slot_bytes >= {max_msg}"
+            )
+        m2, inv_A, prev_coef = _hoist_update_terms(
+            self.m_local, self.C_local, self.dt
+        )
+        shm, result = create_shared_array((mesh.nnode, 3))
+        try:
+            result.fill(0.0)
+            payloads = []
+            for r, rp in enumerate(dist.ranks):
+                payloads.append(
+                    {
+                        "conn": rp.local_conn,
+                        "h": mesh.elem_h[rp.elements],
+                        "lam": self._lam[rp.elements],
+                        "mu": self._mu[rp.elements],
+                        "nloc": len(rp.nodes),
+                        "n_iface": rp.n_iface_elems,
+                        "neighbors": [
+                            (o, loc) for o, (loc, _) in rp.shared_with.items()
+                        ],
+                        "m2": m2[r],
+                        "inv_A": inv_A[r],
+                        "prev_coef": prev_coef[r],
+                        "dt": self.dt,
+                        "nsteps": nsteps,
+                        "force_fn": force_fn,
+                        "gnodes": rp.nodes,
+                        "gather_nodes": rp.gather_nodes,
+                        "gather_local": rp.gather_local,
+                        "result": (shm.name, mesh.nnode),
+                    }
+                )
+            timings = world.run_spmd(_rank_program, payloads)
+            self.last_timings = timings
+            out = result.copy()
+        finally:
+            del result  # drop the exported view before closing
+            shm.close()
+            shm.unlink()
         return out

@@ -75,6 +75,35 @@ ALPHASERVER_ES45 = MachineModel(
 )
 
 
+def machine_from_measurements(
+    measurement: dict,
+    *,
+    flop_rate: float,
+    name: str = "measured shared-memory transport",
+    sync_per_hop: float = 0.0,
+) -> MachineModel:
+    """Build a :class:`MachineModel` whose ``alpha``/``beta`` come from
+    a real transport instead of hardware datasheets.
+
+    ``measurement`` is the dict returned by
+    :func:`repro.parallel.transport.measure_transport` — a ping-pong
+    fit of one-way time ``t(n) = alpha + n / beta`` over the process
+    transport's shared-memory channels.  ``flop_rate`` is the sustained
+    per-process rate measured on the actual element kernel (the scaling
+    benchmark times a serial matvec for it).  The result plugs into
+    :func:`predict_scalability`, so the same Table 2.1 machinery that
+    models LeMieux also predicts *this machine's* strong scaling, which
+    ``benchmarks/bench_scaling.py`` compares against measured runs.
+    """
+    return MachineModel(
+        name=name,
+        flop_rate=float(flop_rate),
+        latency=float(measurement["alpha"]),
+        bandwidth=float(measurement["beta"]),
+        sync_per_hop=sync_per_hop,
+    )
+
+
 @dataclass
 class ScalabilityRow:
     """One row of the Table 2.1 reproduction."""

@@ -1,22 +1,43 @@
-"""In-process simulated MPI with exact traffic accounting.
+"""Pluggable-transport MPI with exact traffic accounting.
 
-:class:`SimWorld` owns ``P`` rank mailboxes; :class:`SimComm` is the
-per-rank handle with the usual point-to-point and collective operations
-(numpy-buffer style, mirroring mpi4py's upper-case API).  Messages move
-through in-memory queues, and every send is accounted (count + bytes),
-which the machine model converts to network time.
+:class:`SimComm` is the per-rank communicator handle with the usual
+point-to-point and collective operations (numpy-buffer style, mirroring
+mpi4py's upper-case API, with the historical lower-case aliases kept).
+It is a thin facade over a **transport** — any object implementing the
+small world-side protocol below — so the same SPMD rank program runs
+unchanged over either backing:
 
-This is the substitution documented in DESIGN.md: parallel *semantics*
-(who sends what to whom each step) are executed for real; only the
-clock is modeled.
+* :class:`SimWorld` (this module): ``P`` in-process mailboxes moved
+  through deques — parallel *semantics* (who sends what to whom each
+  step) execute for real, only the clock is modeled;
+* :class:`repro.parallel.transport.ProcWorld`: persistent worker
+  processes with double-buffered shared-memory channels — real cores,
+  real wall time.
+
+Every send is accounted (count + payload bytes) per rank, which the
+machine model converts to network time, and which the transport
+equivalence tests compare across backings message for message.
+
+Transport protocol (what a world must provide to back a ``SimComm``)::
+
+    nranks                      -> int
+    _send_from(rank, data, dest, tag)
+    _recv_at(rank, source, tag, out=None) -> np.ndarray
+    _barrier(rank)
+    _add_flops(rank, n)
+    rank_stats(rank)            -> TrafficStats
 """
 
 from __future__ import annotations
 
 from collections import defaultdict, deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
+
+#: reserved tag for collective traffic (keeps it out of the
+#: point-to-point tag space used by the solvers)
+COLLECTIVE_TAG = -1
 
 
 @dataclass
@@ -30,6 +51,102 @@ class TrafficStats:
     def copy(self) -> "TrafficStats":
         return TrafficStats(self.messages_sent, self.bytes_sent, self.flops)
 
+    def merge(self, other: "TrafficStats") -> None:
+        self.messages_sent += other.messages_sent
+        self.bytes_sent += other.bytes_sent
+        self.flops += other.flops
+
+    def as_tuple(self) -> tuple[int, int, int]:
+        return (self.messages_sent, self.bytes_sent, self.flops)
+
+
+def binomial_rounds(nranks: int) -> list[list[tuple[int, int]]]:
+    """Binomial reduction tree: per round, the ``(child, parent)``
+    pairs at distance ``2^k``.  Reducing runs the rounds in order
+    (children send to parents); broadcasting runs them reversed
+    (parents send to children).  Every rank appears as a child exactly
+    once, so a full allreduce costs each rank at most ``log2(P) + 1``
+    messages — the realistic collective the machine model assumes,
+    rather than a ``P``-message gather-to-root."""
+    rounds = []
+    k = 1
+    while k < nranks:
+        rounds.append(
+            [(r + k, r) for r in range(0, nranks, 2 * k) if r + k < nranks]
+        )
+        k *= 2
+    return rounds
+
+
+class SimComm:
+    """Rank-local communicator handle over a pluggable transport.
+
+    ``world`` is any transport implementing the module-level protocol;
+    ``rank`` is this endpoint's rank in it.
+    """
+
+    def __init__(self, world, rank: int):
+        self.world = world
+        self.rank = rank
+
+    @property
+    def size(self) -> int:
+        return self.world.nranks
+
+    @property
+    def stats(self) -> TrafficStats:
+        return self.world.rank_stats(self.rank)
+
+    # -------------------------------------------------- point to point
+
+    def Send(self, data: np.ndarray, dest: int, tag: int = 0) -> None:
+        """Ship ``data`` to ``dest``; accounted against this rank.
+        Completes locally (buffered) — the BSP schedules used here
+        post all sends of a superstep before any receive."""
+        self.world._send_from(self.rank, data, dest, tag)
+
+    def Recv(
+        self, source: int, tag: int = 0, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Next message from ``source``; written into ``out`` when
+        given (zero extra copies on the hot path)."""
+        return self.world._recv_at(self.rank, source, tag, out)
+
+    def Barrier(self) -> None:
+        self.world._barrier(self.rank)
+
+    def Allreduce(self, value: float, op=sum) -> float:
+        """Scalar allreduce over a binomial tree of Send/Recv pairs
+        (reduce to rank 0, then broadcast), so the accounting reflects
+        ``O(log P)`` critical-path messages.  ``op`` combines a list of
+        two partial values.  Requires a concurrent transport (every
+        rank must call it); in-process use goes through
+        :meth:`SimWorld.allreduce`, which executes the same tree."""
+        v = float(value)
+        rounds = binomial_rounds(self.size)
+        for pairs in rounds:  # reduce
+            for child, parent in pairs:
+                if self.rank == child:
+                    self.Send(np.array([v]), parent, tag=COLLECTIVE_TAG)
+                elif self.rank == parent:
+                    got = self.Recv(child, tag=COLLECTIVE_TAG)
+                    v = float(op([v, float(got[0])]))
+        for pairs in reversed(rounds):  # broadcast
+            for child, parent in pairs:
+                if self.rank == parent:
+                    self.Send(np.array([v]), child, tag=COLLECTIVE_TAG)
+                elif self.rank == child:
+                    v = float(self.Recv(parent, tag=COLLECTIVE_TAG)[0])
+        return v
+
+    # historical lower-case aliases (pre-transport API)
+    send = Send
+    recv = Recv
+    barrier = Barrier
+
+    def add_flops(self, n: int) -> None:
+        self.world._add_flops(self.rank, n)
+
 
 class SimWorld:
     """A set of ``P`` simulated ranks sharing in-memory mailboxes."""
@@ -41,66 +158,78 @@ class SimWorld:
         self._mail: dict[tuple[int, int, int], deque] = defaultdict(deque)
         self.stats = [TrafficStats() for _ in range(nranks)]
 
-    def comm(self, rank: int) -> "SimComm":
+    def comm(self, rank: int) -> SimComm:
         if not 0 <= rank < self.nranks:
             raise ValueError(f"rank {rank} out of range")
         return SimComm(self, rank)
 
-    def comms(self) -> list["SimComm"]:
+    def comms(self) -> list[SimComm]:
         return [self.comm(r) for r in range(self.nranks)]
 
     def total_stats(self) -> TrafficStats:
         out = TrafficStats()
         for s in self.stats:
-            out.messages_sent += s.messages_sent
-            out.bytes_sent += s.bytes_sent
-            out.flops += s.flops
+            out.merge(s)
         return out
 
     def allreduce(self, values: list[float], op=sum) -> float:
-        """World-level scalar allreduce (one value per rank).
-
-        Accounted as a binary reduction + broadcast tree: ``2 ceil(log2 P)``
-        8-byte messages on every rank's critical path.
-        """
+        """World-level scalar allreduce (one value per rank), executed
+        as a binomial reduce + broadcast through the mailboxes — the
+        per-rank message/byte accounting is *measured* from the same
+        tree the process transport walks, not modeled."""
         if len(values) != self.nranks:
             raise ValueError("one value per rank required")
-        hops = int(np.ceil(np.log2(max(self.nranks, 2))))
-        for st in self.stats:
-            st.messages_sent += 2 * hops
-            st.bytes_sent += 16 * hops
-        return op(values)
+        vals = [float(v) for v in values]
+        rounds = binomial_rounds(self.nranks)
+        for pairs in rounds:  # reduce toward rank 0
+            for child, parent in pairs:
+                self.comm(child).Send(
+                    np.array([vals[child]]), parent, tag=COLLECTIVE_TAG
+                )
+            for child, parent in pairs:
+                got = self.comm(parent).Recv(child, tag=COLLECTIVE_TAG)
+                vals[parent] = float(op([vals[parent], float(got[0])]))
+        for pairs in reversed(rounds):  # broadcast back down
+            for child, parent in pairs:
+                self.comm(parent).Send(
+                    np.array([vals[parent]]), child, tag=COLLECTIVE_TAG
+                )
+            for child, parent in pairs:
+                vals[child] = float(
+                    self.comm(child).Recv(parent, tag=COLLECTIVE_TAG)[0]
+                )
+        return vals[0]
 
+    # ------------------------------------------------ transport protocol
 
-class SimComm:
-    """Rank-local communicator handle."""
-
-    def __init__(self, world: SimWorld, rank: int):
-        self.world = world
-        self.rank = rank
-
-    @property
-    def size(self) -> int:
-        return self.world.nranks
-
-    def send(self, data: np.ndarray, dest: int, tag: int = 0) -> None:
-        """Enqueue a message; accounted against this rank."""
+    def _send_from(
+        self, rank: int, data: np.ndarray, dest: int, tag: int
+    ) -> None:
         data = np.asarray(data)
-        self.world._mail[(self.rank, dest, tag)].append(data.copy())
-        st = self.world.stats[self.rank]
+        self._mail[(rank, dest, tag)].append(data.copy())
+        st = self.stats[rank]
         st.messages_sent += 1
         st.bytes_sent += data.nbytes
 
-    def recv(self, source: int, tag: int = 0) -> np.ndarray:
-        """Dequeue the next message from ``source`` (must exist — the
-        BSP schedules used here post all sends before any recv)."""
-        box = self.world._mail[(source, self.rank, tag)]
+    def _recv_at(
+        self, rank: int, source: int, tag: int, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        box = self._mail[(source, rank, tag)]
         if not box:
             raise RuntimeError(
-                f"rank {self.rank}: no message from {source} tag {tag}"
+                f"rank {rank}: no message from {source} tag {tag}"
             )
-        return box.popleft()
+        got = box.popleft()
+        if out is not None:
+            np.copyto(out, got)
+            return out
+        return got
 
-    def add_flops(self, n: int) -> None:
-        self.world.stats[self.rank].flops += int(n)
+    def _barrier(self, rank: int) -> None:
+        pass  # supersteps are globally ordered in-process
 
+    def _add_flops(self, rank: int, n: int) -> None:
+        self.stats[rank].flops += int(n)
+
+    def rank_stats(self, rank: int) -> TrafficStats:
+        return self.stats[rank]

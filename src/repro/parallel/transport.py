@@ -1,0 +1,444 @@
+"""Real shared-memory SPMD transport for the distributed solver.
+
+:class:`ProcWorld` runs ``P`` **persistent worker processes** (spawned
+once, reused across programs) connected by double-buffered
+shared-memory channels, so :class:`repro.parallel.simcomm.SimComm` —
+the same mpi4py-style handle the in-process simulator hands out — is
+backed by real cores and real wall time:
+
+* **channels**: one per ordered rank pair, a 2-slot ring in anonymous
+  shared memory (``multiprocessing.RawArray``) guarded by a pair of
+  semaphores.  A send copies the payload into a free slot and returns
+  immediately; with the solvers' bulk-synchronous schedules at most two
+  messages are ever in flight per channel, so sends never block — which
+  is exactly what lets the interior matvec overlap the ghost exchange;
+* **programs**: any picklable ``fn(comm, payload) -> result`` submitted
+  with :meth:`ProcWorld.run_spmd`; each worker executes it SPMD-style
+  against its own rank's endpoint and ships the (small) result back
+  over a pipe.  Bulk state moves through named
+  :mod:`multiprocessing.shared_memory` blocks instead (see
+  :func:`create_shared_array` / :func:`attach_shared_array`);
+* **accounting**: every worker counts messages/bytes/flops in its own
+  :class:`TrafficStats`; ``run_spmd`` merges the counts into the
+  master-side ``world.stats``, so the machine model and the transport
+  equivalence tests see exactly the numbers the simulator produces.
+
+The channel capacity bounds one message; the default fits the interface
+blocks of meshes up to a few hundred thousand elements — pass a larger
+``slot_bytes`` for bigger partitions (the solver raises a sizing error
+rather than deadlocking).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+import traceback
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.parallel.simcomm import SimComm, TrafficStats
+
+_HDR = 5  # per-slot header int64s: tag, ndim, shape[0..2]
+
+
+class _Channel:
+    """One-directional double-buffered message slot pair in shared
+    memory.  Exactly one process sends and one receives; each side
+    keeps its own slot cursor, and strict FIFO alternation keeps the
+    cursors consistent without any shared index."""
+
+    def __init__(self, ctx, slot_bytes: int, timeout: float):
+        if slot_bytes % 8:
+            raise ValueError("slot_bytes must be a multiple of 8")
+        self.slot_bytes = int(slot_bytes)
+        self.timeout = float(timeout)
+        self._hdr = ctx.RawArray("q", 2 * _HDR)
+        self._buf = ctx.RawArray("b", 2 * self.slot_bytes)
+        self._free = ctx.Semaphore(2)
+        self._avail = ctx.Semaphore(0)
+        # process-local cursors (the object is copied into each side)
+        self._w = 0
+        self._r = 0
+
+    def send(self, data: np.ndarray, tag: int) -> int:
+        """Copy ``data`` into the next free slot; returns payload
+        bytes.  Blocks only when two messages are already in flight."""
+        data = np.ascontiguousarray(data, dtype=np.float64)
+        if data.ndim > 3:
+            raise ValueError("channel messages are at most 3-D")
+        if data.nbytes > self.slot_bytes:
+            raise ValueError(
+                f"message of {data.nbytes} bytes exceeds the channel "
+                f"capacity of {self.slot_bytes}; build the ProcWorld "
+                "with a larger slot_bytes"
+            )
+        if not self._free.acquire(timeout=self.timeout):
+            raise RuntimeError(
+                f"send timed out after {self.timeout}s (receiver not "
+                "draining — deadlocked or dead peer?)"
+            )
+        base = self._w * _HDR
+        self._hdr[base] = tag
+        self._hdr[base + 1] = data.ndim
+        for i in range(3):
+            self._hdr[base + 2 + i] = (
+                data.shape[i] if i < data.ndim else 1
+            )
+        dst = np.frombuffer(
+            self._buf,
+            dtype=np.float64,
+            count=data.size,
+            offset=self._w * self.slot_bytes,
+        )
+        dst[:] = data.reshape(-1)
+        self._avail.release()
+        self._w ^= 1
+        return data.nbytes
+
+    def recv(self, tag: int, out: np.ndarray | None = None) -> np.ndarray:
+        """Next message (FIFO); verified against the expected ``tag``;
+        written into ``out`` when given."""
+        if not self._avail.acquire(timeout=self.timeout):
+            raise RuntimeError(
+                f"recv timed out after {self.timeout}s (no message — "
+                "deadlocked or dead peer?)"
+            )
+        base = self._r * _HDR
+        got_tag = int(self._hdr[base])
+        ndim = int(self._hdr[base + 1])
+        shape = tuple(int(self._hdr[base + 2 + i]) for i in range(ndim))
+        n = int(np.prod(shape)) if ndim else 1
+        src = np.frombuffer(
+            self._buf,
+            dtype=np.float64,
+            count=n,
+            offset=self._r * self.slot_bytes,
+        )
+        if got_tag != tag:
+            raise RuntimeError(
+                f"message tag mismatch: expected {tag}, got {got_tag}"
+            )
+        if out is not None:
+            np.copyto(out.reshape(-1), src)
+            result = out
+        else:
+            result = src.reshape(shape).copy()
+        self._free.release()
+        self._r ^= 1
+        return result
+
+
+class ProcTransport:
+    """Worker-side transport endpoint: implements the ``SimComm``
+    world protocol for exactly one rank, against shared-memory
+    channels."""
+
+    def __init__(self, rank, nranks, send_chs, recv_chs, barrier):
+        self.rank = int(rank)
+        self.nranks = int(nranks)
+        self._send_chs = send_chs  # dest rank -> _Channel
+        self._recv_chs = recv_chs  # source rank -> _Channel
+        self._barrier_obj = barrier
+        self._stats = TrafficStats()
+
+    def _check(self, rank: int) -> None:
+        if rank != self.rank:
+            raise ValueError(
+                f"process transport endpoint is rank {self.rank}, "
+                f"not {rank}"
+            )
+
+    def _send_from(self, rank, data, dest, tag) -> None:
+        self._check(rank)
+        nbytes = self._send_chs[dest].send(data, tag)
+        self._stats.messages_sent += 1
+        self._stats.bytes_sent += nbytes
+
+    def _recv_at(self, rank, source, tag, out=None) -> np.ndarray:
+        self._check(rank)
+        return self._recv_chs[source].recv(tag, out)
+
+    def _barrier(self, rank) -> None:
+        self._check(rank)
+        self._barrier_obj.wait()
+
+    def _add_flops(self, rank, n) -> None:
+        self._check(rank)
+        self._stats.flops += int(n)
+
+    def rank_stats(self, rank) -> TrafficStats:
+        self._check(rank)
+        return self._stats
+
+
+def _worker_main(rank, nranks, conn, send_chs, recv_chs, barrier):
+    """Persistent worker loop: execute submitted programs until told
+    to stop, shipping results and traffic counts back over the pipe."""
+    transport = ProcTransport(rank, nranks, send_chs, recv_chs, barrier)
+    comm = SimComm(transport, rank)
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, KeyboardInterrupt):
+            return
+        if msg[0] == "stop":
+            conn.close()
+            return
+        _, program, payload = msg
+        try:
+            result = program(comm, payload)
+            conn.send(("ok", result, transport._stats.as_tuple()))
+            transport._stats = TrafficStats()
+        except BaseException:
+            try:
+                conn.send(("err", traceback.format_exc()))
+            except Exception:
+                return
+
+
+class ProcWorld:
+    """Persistent multiprocessing SPMD executor.
+
+    Mirrors the master-side surface of :class:`SimWorld` that the
+    decomposition and solver layers use (``nranks``, ``stats``,
+    ``total_stats``), and adds :meth:`run_spmd` for executing rank
+    programs on real cores.  Workers are daemonic: they die with the
+    master even if :meth:`close` is never reached.
+    """
+
+    def __init__(
+        self,
+        nranks: int,
+        *,
+        slot_bytes: int = 1 << 18,
+        timeout: float = 120.0,
+        start_method: str | None = None,
+    ):
+        if nranks < 1:
+            raise ValueError("need at least one rank")
+        self.nranks = int(nranks)
+        self.slot_bytes = int(slot_bytes)
+        self.timeout = float(timeout)
+        self.stats = [TrafficStats() for _ in range(nranks)]
+        # start the resource tracker *before* forking workers so every
+        # worker shares it: attach-time registrations then deduplicate
+        # against the creator's and the creator's unlink retires the
+        # segment exactly once (a tracker forked mid-lifetime would
+        # double-unlink shared arrays and warn at exit)
+        try:  # pragma: no cover - stdlib-internal but stable API
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except Exception:
+            pass
+        ctx = mp.get_context(start_method)
+        self._channels = {
+            (i, j): _Channel(ctx, self.slot_bytes, self.timeout)
+            for i in range(nranks)
+            for j in range(nranks)
+            if i != j
+        }
+        barrier = ctx.Barrier(nranks)
+        self._pipes = []
+        self._procs = []
+        for r in range(nranks):
+            parent, child = ctx.Pipe()
+            send_chs = {
+                j: ch for (i, j), ch in self._channels.items() if i == r
+            }
+            recv_chs = {
+                i: ch for (i, j), ch in self._channels.items() if j == r
+            }
+            p = ctx.Process(
+                target=_worker_main,
+                args=(r, nranks, child, send_chs, recv_chs, barrier),
+                daemon=True,
+            )
+            p.start()
+            child.close()
+            self._pipes.append(parent)
+            self._procs.append(p)
+        self._closed = False
+
+    # ------------------------------------------------------- execution
+
+    def run_spmd(self, program, payloads: list) -> list:
+        """Run ``program(comm, payload)`` on every rank concurrently;
+        returns the per-rank results.  Worker traffic counts are merged
+        into ``self.stats``.  A failure on any rank raises with that
+        rank's traceback."""
+        if self._closed:
+            raise RuntimeError("world is closed")
+        if len(payloads) != self.nranks:
+            raise ValueError("one payload per rank required")
+        for r, pipe in enumerate(self._pipes):
+            pipe.send(("run", program, payloads[r]))
+        results = [None] * self.nranks
+        errors = []
+        for r, pipe in enumerate(self._pipes):
+            try:
+                msg = pipe.recv()
+            except EOFError:
+                errors.append((r, "worker died (pipe closed)"))
+                continue
+            if msg[0] == "ok":
+                results[r] = msg[1]
+                st = self.stats[r]
+                m, b, f = msg[2]
+                st.messages_sent += m
+                st.bytes_sent += b
+                st.flops += f
+            else:
+                errors.append((r, msg[1]))
+        if errors:
+            detail = "\n".join(f"-- rank {r} --\n{tb}" for r, tb in errors)
+            raise RuntimeError(
+                f"{len(errors)} rank(s) failed in SPMD program:\n{detail}"
+            )
+        return results
+
+    def allreduce(self, values: list[float], op=sum) -> float:
+        """World-level convenience matching :meth:`SimWorld.allreduce`:
+        every worker walks the same binomial tree through the real
+        channels.  ``op`` must be picklable (module-level)."""
+        if len(values) != self.nranks:
+            raise ValueError("one value per rank required")
+        results = self.run_spmd(
+            _allreduce_program, [(float(v), op) for v in values]
+        )
+        return results[0]
+
+    def total_stats(self) -> TrafficStats:
+        out = TrafficStats()
+        for s in self.stats:
+            out.merge(s)
+        return out
+
+    def rank_stats(self, rank: int) -> TrafficStats:
+        return self.stats[rank]
+
+    # --------------------------------------------------------- lifetime
+
+    def close(self) -> None:
+        """Stop the workers; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for pipe in self._pipes:
+            try:
+                pipe.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for p in self._procs:
+            p.join(timeout=5.0)
+            if p.is_alive():
+                p.terminate()
+        for pipe in self._pipes:
+            pipe.close()
+
+    def __enter__(self) -> "ProcWorld":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    def __del__(self):  # pragma: no cover - best effort
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def _allreduce_program(comm, payload):
+    value, op = payload
+    return comm.Allreduce(value, op=op)
+
+
+# ----------------------------------------------- shared bulk state
+
+
+def create_shared_array(shape, dtype=np.float64):
+    """Create a named shared-memory array; returns ``(shm, view)``.
+    The caller owns the block: close **and unlink** it when done (and
+    drop the view first — an exported buffer cannot be closed)."""
+    size = int(np.prod(shape)) * np.dtype(dtype).itemsize
+    shm = shared_memory.SharedMemory(create=True, size=max(size, 1))
+    view = np.frombuffer(shm.buf, dtype=dtype)[: int(np.prod(shape))]
+    return shm, view.reshape(shape)
+
+
+def attach_shared_array(name, shape, dtype=np.float64):
+    """Attach to a named shared-memory array from a worker; returns
+    ``(shm, view)``.
+
+    Under the fork start method (the ProcWorld default on Linux) the
+    workers share the parent's resource-tracker process, whose cache
+    holds one entry per segment name — the worker's attach re-register
+    deduplicates against the creator's, and the creator's ``unlink``
+    retires it exactly once.  (Unregistering here instead would strip
+    the creator's entry and make its unlink warn.)"""
+    shm = shared_memory.SharedMemory(name=name)
+    view = np.frombuffer(shm.buf, dtype=dtype)[: int(np.prod(shape))]
+    return shm, view.reshape(shape)
+
+
+# ------------------------------------------- transport measurement
+
+
+def _pingpong_program(comm, payload):
+    """Rank 0 and 1 exchange fixed-size messages; returns per-size
+    one-way seconds on rank 0."""
+    sizes, repeats = payload
+    if comm.rank > 1 or comm.size < 2:
+        return None
+    samples = []
+    for nbytes in sizes:
+        arr = np.zeros(max(nbytes // 8, 1))
+        if comm.rank == 0:
+            comm.Send(arr, 1, tag=99)  # warm the channel both ways
+            comm.Recv(1, tag=99)
+            t0 = time.perf_counter()
+            for _ in range(repeats):
+                comm.Send(arr, 1, tag=99)
+                comm.Recv(1, tag=99)
+            dt = (time.perf_counter() - t0) / repeats / 2.0
+            samples.append((int(arr.nbytes), float(dt)))
+        else:
+            for _ in range(repeats + 1):
+                comm.Recv(0, tag=99)
+                comm.Send(arr, 0, tag=99)
+    return samples
+
+
+def measure_transport(
+    world: ProcWorld,
+    *,
+    sizes: tuple = (64, 1024, 8192, 65536),
+    repeats: int = 50,
+) -> dict:
+    """Measure the transport's latency/bandwidth by ping-pong between
+    ranks 0 and 1, and fit ``t(n) = alpha + n / beta``.
+
+    Returns ``{"alpha": s, "beta": bytes/s, "samples": [(bytes, s)]}``
+    — the measured constants :func:`repro.parallel.perfmodel.
+    machine_from_measurements` turns into a calibrated MachineModel.
+    Note the ping-pong traffic is merged into ``world.stats``; use a
+    scratch world when exact solver accounting matters.
+    """
+    if world.nranks < 2:
+        raise ValueError("transport measurement needs at least 2 ranks")
+    sizes = tuple(s for s in sizes if s <= world.slot_bytes)
+    results = world.run_spmd(
+        _pingpong_program, [(sizes, repeats)] * world.nranks
+    )
+    samples = results[0]
+    xs = np.array([s[0] for s in samples], dtype=float)
+    ts = np.array([s[1] for s in samples], dtype=float)
+    A = np.stack([np.ones_like(xs), xs], axis=1)
+    (alpha, slope), *_ = np.linalg.lstsq(A, ts, rcond=None)
+    alpha = float(max(alpha, 1e-9))
+    beta = float(1.0 / max(slope, 1e-15))
+    return {"alpha": alpha, "beta": beta, "samples": samples}
