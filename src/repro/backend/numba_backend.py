@@ -46,6 +46,26 @@ def _apply_varmat(dof, Ke, u, Y):  # pragma: no cover - needs numba
 
 
 @njit(parallel=True, cache=True)
+def _apply_elements_mat(dof, MT, U2, Y):  # pragma: no cover - needs numba
+    """Multi-RHS element apply: ``Y[e, w, b] = sum_i U2[dof[e, i], b]
+    * MT[i, w]`` — accumulation ascends over ``i`` exactly like the
+    single-RHS kernel, so every column is bit-identical to a matvec."""
+    nelem, nldof = dof.shape
+    width = MT.shape[1]
+    B = U2.shape[1]
+    for e in prange(nelem):
+        for j in range(width):
+            for b in range(B):
+                Y[e, j, b] = 0.0
+        for i in range(nldof):
+            g = dof[e, i]
+            for j in range(width):
+                m = MT[i, j]
+                for b in range(B):
+                    Y[e, j, b] += m * U2[g, b]
+
+
+@njit(parallel=True, cache=True)
 def _csr_scatter_acc(indptr, indices, data, X, Y):  # pragma: no cover
     """Node-wise scatter: ``Y[r, :] += data[p] * X[indices[p], :]``.
     Parallel over output rows, so race-free without atomics."""
@@ -105,6 +125,66 @@ class NumbaElementKernel(NumpyElementKernel):
             self._Yb, out_flat.reshape(self.nnode, self.ncomp),
         )
         return out_flat
+
+    # ------------------------------------------------------- multi-RHS
+
+    def _ensure_batch(self, B: int) -> None:
+        """The jitted apply reads straight from the column block, so
+        only the slot-major result buffer is needed."""
+        if self._batch_B == B:
+            return
+        self._Ym = np.empty((self.nelem, self.nldof * self.nmat, B))
+        self._batch_B = B
+
+    def matmat(self, u2, out2, coefs=None):
+        if coefs is not None:
+            self._fold(coefs)
+        elif not self._fixed:
+            raise ValueError("kernel built without fixed coefs: pass coefs")
+        B = self._check_block(u2, out2)
+        out2.fill(0.0)
+        if self.nelem == 0:
+            return out2
+        self._ensure_batch(B)
+        _apply_elements_mat(self.dof, self.MT, u2, self._Ym)
+        Xb, Yb = self._block_views(out2, B)
+        _csr_scatter_acc(
+            self.plan.indptr, self.plan.indices, self._data, Xb, Yb
+        )
+        return out2
+
+    def matmat_interface(self, u2, out2):
+        k = self.split_elems
+        if k is None:
+            raise ValueError("call set_split() before the phased matmat")
+        B = self._check_block(u2, out2)
+        out2.fill(0.0)
+        if k == 0:
+            return out2
+        self._ensure_batch(B)
+        _apply_elements_mat(self.dof[:k], self.MT, u2, self._Ym[:k])
+        Xb, Yb = self._block_views(out2, B)
+        _csr_scatter_acc(
+            self._plan_lo.indptr, self._plan_lo.indices, self._data_lo,
+            Xb, Yb,
+        )
+        return out2
+
+    def matmat_interior(self, u2, out2):
+        k = self.split_elems
+        if k is None:
+            raise ValueError("call set_split() before the phased matmat")
+        B = self._check_block(u2, out2)
+        if k >= self.nelem:
+            return out2
+        self._ensure_batch(B)
+        _apply_elements_mat(self.dof[k:], self.MT, u2, self._Ym[k:])
+        Xb, Yb = self._block_views(out2, B)
+        _csr_scatter_acc(
+            self._plan_hi.indptr, self._plan_hi.indices, self._data_hi,
+            Xb, Yb,
+        )
+        return out2
 
 
 class NumbaVarMatKernel(NumpyVarMatKernel):

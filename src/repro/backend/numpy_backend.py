@@ -105,6 +105,13 @@ class NumpyElementKernel:
         self.split_elems = None
         self._plan_lo = self._plan_hi = None
         self._data_lo = self._data_hi = None
+        # multi-RHS (batched) workspace, sized on first matmat call and
+        # kept for the batch width in use — matmat is allocation-free
+        # after that warmup, exactly like matvec
+        self._batch_B = 0
+        self._G = self._Uall = self._Yall = self._Ym = None
+        self._fold_count = 0
+        self._last_coefs = None
         if self._fixed:
             # fold once, then free what only refolding would need
             self._fold(coefs)
@@ -137,6 +144,7 @@ class NumpyElementKernel:
         self._plan_lo, self._plan_hi = plan_lo, plan_hi
         self._data_lo = np.ascontiguousarray(self._data[mask_lo])
         self._data_hi = np.ascontiguousarray(self._data[~mask_lo])
+        self._batch_B = 0  # phased matmat buffers depend on the split
 
     def matvec_interface(self, u_flat, out_flat):
         """Phase 1 of the overlapped matvec: zero ``out`` and apply
@@ -170,12 +178,197 @@ class NumpyElementKernel:
         )
         return out_flat
 
+    # ------------------------------------------------------- multi-RHS
+
+    def _check_block(self, u2, out2) -> int:
+        """Validate a ``(ndof, B)`` column block pair; returns ``B``.
+        The input may be strided (the gather handles it); the output
+        must be C-contiguous because the scatter writes through a
+        reshaped node-major view."""
+        if u2.ndim != 2 or u2.shape[0] != self.ndof:
+            raise ValueError(
+                f"matmat input must be ({self.ndof}, B), got {u2.shape}"
+            )
+        if out2.shape != u2.shape:
+            raise ValueError("matmat input/output shapes must match")
+        if not out2.flags.c_contiguous:
+            raise ValueError("matmat output block must be C-contiguous")
+        return u2.shape[1]
+
+    def _ensure_batch(self, B: int) -> None:
+        """Size the multi-RHS workspace for batch width ``B``; kept
+        until the width (or the overlap split) changes, so steady-state
+        matmat calls perform zero heap allocations.
+
+        The block product runs column slabs *row-stacked*:
+        ``(B * nelem, nldof) @ (nldof, width)`` — the same (k, n) GEMM
+        shape as the serial ``(nelem, nldof) @ (nldof, width)``, so
+        the per-entry summation order over ``k`` is unchanged and each
+        slab is bit-identical to the serial apply (enforced by
+        ``tests/test_batch.py``).  Transposed layouts that fuse ``B``
+        into the GEMM's ``n`` dimension are *not* bitwise-stable."""
+        if self._batch_B == B:
+            return
+        width = self.nldof * self.nmat
+        nslot = self.nelem * self.nmat * self.ncorner
+        #: scenario-major state / result blocks: row b is the full flat
+        #: dof vector of column b — one small transpose each way
+        #: brackets the batch instead of two large slot-space permutes
+        self._u2T = np.empty((B, self.ndof))
+        self._o2T = np.empty((B, self.ndof))
+        #: row-stacked GEMM operand / result: column slab b is
+        #: _Uall[b] (nelem, nldof) — exactly the serial gather layout
+        self._Uall = np.empty((B, self.nelem, self.nldof))
+        self._Yall = np.empty((B, self.nelem, width))
+        # per-call reshape views, built once (matmat stays free of
+        # Python-level array construction in steady state)
+        self._dof_flat = self.dof.reshape(-1)
+        self._Uall_g = self._Uall.reshape(B, -1)
+        self._Uall_rs = self._Uall.reshape(-1, self.nldof)
+        self._Yall_rs = self._Yall.reshape(-1, width)
+        # block-diagonal replicated scatter: scenario b's slots target
+        # destination rows offset by b * nnode, so ONE planned CSR
+        # product accumulates the whole batch.  Each diagonal block is
+        # the serial plan (same stable slot order per node row), so
+        # every column keeps the serial scatter's summation order
+        idx_node = np.tile(self.conn, (1, self.nmat)).ravel()
+        gdest = (
+            np.arange(B, dtype=np.int64)[:, None] * self.nnode
+            + idx_node[None, :]
+        ).ravel()
+        self._bplan = ScatterPlan(gdest, B * self.nnode)
+        self._bplan.drop_order()  # data comes pre-folded, tiled below
+        self._bdata = np.tile(self._data, B)
+        self._bdata2 = self._bdata.reshape(B, nslot)
+        self._bdata_stamp = self._fold_count
+        self._Yall_x = self._Yall.reshape(B * nslot, self.ncomp)
+        self._o2T_y = self._o2T.reshape(B * self.nnode, self.ncomp)
+        if self.split_elems is not None:
+            # the phased (overlapped) matmat keeps the slot-major
+            # dataflow: the split sub-plans index the *full* slot
+            # space, so lo/hi results land in one shared block
+            k = self.split_elems
+            self._G = np.empty((self.nelem, self.nldof, B))
+            self._Ym = np.empty((self.nelem, width, B))
+            self._Uall_lo = np.empty((B, k, self.nldof))
+            self._Yall_lo = np.empty((B, k, width))
+            self._Uall_hi = np.empty((B, self.nelem - k, self.nldof))
+            self._Yall_hi = np.empty((B, self.nelem - k, width))
+        self._batch_B = B
+
+    def _block_views(self, out2, B):
+        """(slot block, node-major output) views the scatter consumes:
+        all ``ncomp * B`` values of a node accumulate per indirect
+        lookup — the level-3 analogue of the node-wise matvec plan."""
+        nslot = self.nelem * self.nmat * self.ncorner
+        return (
+            self._Ym.reshape(nslot, self.ncomp * B),
+            out2.reshape(self.nnode, self.ncomp * B),
+        )
+
+    def matmat(self, u2, out2, coefs=None):
+        """Multi-RHS stiffness: ``out2[:, b] = K(c) u2[:, b]`` for a
+        column block ``(ndof, B)`` — one gather serving every column,
+        one level-3 BLAS product covering the whole batch, one planned
+        CSR scatter per scenario.  Each column is bit-identical to the
+        corresponding :meth:`matvec` (identical per-entry summation
+        orders)."""
+        if coefs is not None:
+            self._fold(coefs)
+        elif not self._fixed:
+            raise ValueError("kernel built without fixed coefs: pass coefs")
+        B = self._check_block(u2, out2)
+        if self.nelem == 0:
+            out2.fill(0.0)
+            return out2
+        self._ensure_batch(B)
+        # transpose the state block to scenario-major (the only copies
+        # in the whole apply are these two (ndof, B) transposes), then
+        # every stage is a contiguous per-scenario pass: a row-wise
+        # gather straight into the GEMM operand, the row-stacked GEMM,
+        # and one block-diagonal CSR scatter covering the whole batch —
+        # no slot-space permutes, serial summation order untouched
+        if self._bdata_stamp != self._fold_count:
+            self._bdata2[:] = self._data  # refold: refresh every block
+            self._bdata_stamp = self._fold_count
+        np.copyto(self._u2T, u2.T)
+        np.take(
+            self._u2T, self._dof_flat, axis=1, out=self._Uall_g,
+            mode="clip",
+        )
+        np.dot(self._Uall_rs, self.MT, out=self._Yall_rs)
+        self._o2T.fill(0.0)
+        self._bplan.scatter_acc(self._bdata, self._Yall_x, self._o2T_y)
+        np.copyto(out2, self._o2T.T)
+        return out2
+
+    def matmat_interface(self, u2, out2):
+        """Phase 1 of the overlapped multi-RHS apply: zero ``out2`` and
+        apply the leading (interface) elements to every column, so all
+        boundary partial sums of the batch ship in one exchange."""
+        k = self.split_elems
+        if k is None:
+            raise ValueError("call set_split() before the phased matmat")
+        B = self._check_block(u2, out2)
+        out2.fill(0.0)
+        if k == 0:
+            return out2
+        self._ensure_batch(B)
+        np.take(u2, self.dof[:k], axis=0, out=self._G[:k], mode="clip")
+        np.copyto(self._Uall_lo, self._G[:k].transpose(2, 0, 1))
+        np.dot(
+            self._Uall_lo.reshape(-1, self.nldof),
+            self.MT,
+            out=self._Yall_lo.reshape(k * B, -1),
+        )
+        np.copyto(self._Ym[:k], self._Yall_lo.transpose(1, 2, 0))
+        Xb, Yb = self._block_views(out2, B)
+        self._plan_lo.scatter_acc(self._data_lo, Xb, Yb)
+        return out2
+
+    def matmat_interior(self, u2, out2):
+        """Phase 2: accumulate the trailing (interior) elements into
+        every column — the work a ghost exchange hides behind."""
+        k = self.split_elems
+        if k is None:
+            raise ValueError("call set_split() before the phased matmat")
+        B = self._check_block(u2, out2)
+        if k >= self.nelem:
+            return out2
+        self._ensure_batch(B)
+        np.take(u2, self.dof[k:], axis=0, out=self._G[k:], mode="clip")
+        np.copyto(self._Uall_hi, self._G[k:].transpose(2, 0, 1))
+        np.dot(
+            self._Uall_hi.reshape(-1, self.nldof),
+            self.MT,
+            out=self._Yall_hi.reshape((self.nelem - k) * B, -1),
+        )
+        np.copyto(self._Ym[k:], self._Yall_hi.transpose(1, 2, 0))
+        Xb, Yb = self._block_views(out2, B)
+        self._plan_hi.scatter_acc(self._data_hi, Xb, Yb)
+        return out2
+
     def _fold(self, coefs) -> None:
+        # single-entry cache: the time loops pass the same material
+        # every step, so comparing the (nelem,) coefficient vectors is
+        # far cheaper than redoing the nnz-sized fold permutation (and,
+        # for batched applies, the tiled-data refresh it would trigger)
+        if self._last_coefs is not None and len(coefs) == len(
+            self._last_coefs
+        ) and all(
+            np.array_equal(c, lc)
+            for c, lc in zip(coefs, self._last_coefs)
+        ):
+            return
+        self._last_coefs = [
+            np.array(c, dtype=float, copy=True) for c in coefs
+        ]
         for i, c in enumerate(coefs):
             self._coef[:, i * self.ncorner : (i + 1) * self.ncorner] = (
                 np.asarray(c, dtype=float)[:, None]
             )
         self.plan.fold(self._coef.reshape(-1), self._data)
+        self._fold_count += 1  # invalidates the tiled matmat data
 
     def matvec(self, u_flat, out_flat, coefs=None):
         """``out = K(c) u``; both flat, ``out`` caller-owned."""
@@ -226,6 +419,16 @@ class NumpyElementKernel:
             n += self._data_lo.nbytes + self._data_hi.nbytes
             n += self._plan_lo.workspace_bytes()
             n += self._plan_hi.workspace_bytes()
+        if self._batch_B:
+            for name in (
+                "_u2T", "_o2T", "_Uall", "_Yall", "_bdata", "_G", "_Ym",
+                "_Uall_lo", "_Yall_lo", "_Uall_hi", "_Yall_hi",
+            ):
+                buf = getattr(self, name, None)
+                if buf is not None:
+                    n += buf.nbytes
+            if getattr(self, "_bplan", None) is not None:
+                n += self._bplan.workspace_bytes()
         return n + self.plan.workspace_bytes()
 
 

@@ -141,7 +141,14 @@ class ScatterPlan:
         if self.nnz == 0:
             return y
         if _st is not None:
-            if x.ndim == 2:
+            if x.ndim == 2 and x.shape[1] == 1:
+                # single-component block: the 1D kernel skips the
+                # per-entry inner vector loop of csr_matvecs
+                _st.csr_matvec(
+                    self.n, self.ncols, self.indptr, self.indices, data,
+                    x.reshape(-1), y.reshape(-1),
+                )
+            elif x.ndim == 2:
                 _st.csr_matvecs(
                     self.n, self.ncols, x.shape[1], self.indptr,
                     self.indices, data, x.reshape(-1), y.reshape(-1),

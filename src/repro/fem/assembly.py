@@ -70,6 +70,24 @@ class ElasticOperator:
         if split_elems is not None:
             self._kernel.set_split(split_elems)
 
+    def _flat(self, u: np.ndarray, what: str) -> np.ndarray:
+        """Flat dof view of a ``(nnode, 3)`` field.  The kernels index
+        the flat vector, so the input must be C-contiguous — asserted
+        here rather than silently copied (the old
+        ``np.ascontiguousarray`` hid a full-field copy on every call
+        for strided inputs; all solver hot loops own contiguous
+        buffers, so a strided input is a caller bug, not a tax)."""
+        if u.shape != (self.nnode, 3):
+            raise ValueError(
+                f"{what} must be ({self.nnode}, 3), got {u.shape}"
+            )
+        if not u.flags.c_contiguous:
+            raise ValueError(
+                f"{what} must be C-contiguous (got a strided view; copy "
+                "it once outside the time loop instead)"
+            )
+        return u.reshape(-1)
+
     def matvec(self, u: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         """Apply the stiffness: ``u`` is ``(nnode, 3)``; returns same.
 
@@ -79,8 +97,44 @@ class ElasticOperator:
             out = np.empty((self.nnode, 3))
         elif not out.flags.c_contiguous:
             raise ValueError("out must be C-contiguous")
-        self._kernel.matvec(
-            np.ascontiguousarray(u).reshape(-1), out.reshape(-1)
+        self._kernel.matvec(self._flat(u, "u"), out.reshape(-1))
+        return out
+
+    def matmat(self, U: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Batched stiffness: ``U`` is ``(nnode, 3, B)`` — ``B``
+        scenario columns advanced by one level-3 kernel application.
+        Column ``b`` equals ``matvec(U[:, :, b])`` bit for bit."""
+        if U.ndim != 3 or U.shape[:2] != (self.nnode, 3):
+            raise ValueError(
+                f"U must be ({self.nnode}, 3, B), got {U.shape}"
+            )
+        if not U.flags.c_contiguous:
+            raise ValueError("U must be C-contiguous")
+        if out is None:
+            out = np.empty(U.shape)
+        elif not out.flags.c_contiguous:
+            raise ValueError("out must be C-contiguous")
+        B = U.shape[2]
+        self._kernel.matmat(
+            U.reshape(self._ndof, B), out.reshape(self._ndof, B)
+        )
+        return out
+
+    def matmat_interface(self, U: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Phase 1 of the overlapped batched apply (requires
+        ``split_elems``): interface elements only, all columns."""
+        B = U.shape[2]
+        self._kernel.matmat_interface(
+            U.reshape(self._ndof, B), out.reshape(self._ndof, B)
+        )
+        return out
+
+    def matmat_interior_acc(self, U: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Phase 2 of the overlapped batched apply: interior elements
+        accumulated into every column."""
+        B = U.shape[2]
+        self._kernel.matmat_interior(
+            U.reshape(self._ndof, B), out.reshape(self._ndof, B)
         )
         return out
 
@@ -89,9 +143,7 @@ class ElasticOperator:
         ``split_elems``): zero ``out`` and apply only the leading
         interface elements, so boundary partial sums are complete and
         can be shipped while :meth:`matvec_interior_acc` runs."""
-        self._kernel.matvec_interface(
-            np.ascontiguousarray(u).reshape(-1), out.reshape(-1)
-        )
+        self._kernel.matvec_interface(self._flat(u, "u"), out.reshape(-1))
         return out
 
     def matvec_interior_acc(self, u: np.ndarray, out: np.ndarray) -> np.ndarray:
@@ -99,9 +151,7 @@ class ElasticOperator:
         ``matvec_interface`` + ``matvec_interior_acc`` equals a single
         :meth:`matvec` to roundoff and is bit-reproducible across
         runs and processes."""
-        self._kernel.matvec_interior(
-            np.ascontiguousarray(u).reshape(-1), out.reshape(-1)
-        )
+        self._kernel.matvec_interior(self._flat(u, "u"), out.reshape(-1))
         return out
 
     def diagonal(self, out: np.ndarray | None = None) -> np.ndarray:

@@ -27,7 +27,7 @@ reports.  The solver stack is:
 from repro.inverse.parametrization import MaterialGrid
 from repro.inverse.regularization import TotalVariation, Tikhonov1D
 from repro.inverse.fault_source import FaultLineSource2D
-from repro.inverse.problem import ScalarWaveInverseProblem
+from repro.inverse.problem import ScalarWaveInverseProblem, Shot
 from repro.inverse.gauss_newton import GNResult, gauss_newton_cg
 from repro.inverse.precond import LBFGSPreconditioner, frankel_solve
 from repro.inverse.multiscale import multiscale_invert
@@ -43,6 +43,7 @@ __all__ = [
     "Tikhonov1D",
     "FaultLineSource2D",
     "ScalarWaveInverseProblem",
+    "Shot",
     "gauss_newton_cg",
     "GNResult",
     "LBFGSPreconditioner",

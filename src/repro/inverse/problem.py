@@ -27,15 +27,15 @@ requires one forward and one adjoint wave propagation solution".
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.inverse.fault_source import FaultLineSource2D, SourceParams
 from repro.inverse.parametrization import MaterialGrid
 from repro.inverse.regularization import TotalVariation
-from repro.solver.scalarwave import RegularGridScalarWave
+from repro.solver.scalarwave import RegularGridScalarWave, batched_forcing
 
 
 def gaussian_time_kernel(dt: float, f_cut: float, *, width: float = 4.0) -> np.ndarray:
@@ -55,13 +55,40 @@ def gaussian_time_kernel(dt: float, f_cut: float, *, width: float = 4.0) -> np.n
 
 
 @dataclass
+class Shot:
+    """One seismic event: its receiver set, observed records, and
+    sources.  A multi-shot inversion sums the misfit over shots and
+    runs all of them through *one* batched forward/adjoint march per
+    gradient evaluation (the shots share the material iterate, so the
+    wave operator is common — only the forcing columns differ)."""
+
+    receivers: np.ndarray
+    data: np.ndarray  # (nsteps + 1, nrec)
+    fault: FaultLineSource2D | None = None
+    source_params: SourceParams | None = None
+    extra_forcing: Callable[[int], np.ndarray] | None = None
+
+    def __post_init__(self):
+        self.receivers = np.asarray(self.receivers, dtype=np.int64)
+        self.data = np.asarray(self.data, dtype=float)
+
+
+@dataclass
 class ForwardState:
     """Cached sweep results reused by Hessian-vector products."""
 
     m: np.ndarray
     mu_e: np.ndarray
-    u: np.ndarray  # (nsteps+1, nnode)
-    residual: np.ndarray  # (nsteps+1, nrec)
+    u: np.ndarray  # (nsteps+1, nnode) — or (nsteps+1, nnode, B) multi-shot
+    residuals: list = field(default_factory=list)  # (nsteps+1, nrec) per shot
+
+    @property
+    def residual(self) -> np.ndarray:
+        """The single-shot residual (errors on multi-shot states, where
+        no one residual is canonical — use ``residuals``)."""
+        if len(self.residuals) != 1:
+            raise ValueError("multi-shot state: use .residuals")
+        return self.residuals[0]
 
 
 class ScalarWaveInverseProblem:
@@ -101,14 +128,15 @@ class ScalarWaveInverseProblem:
         self,
         solver: RegularGridScalarWave,
         grid: MaterialGrid,
-        receivers: np.ndarray,
-        data: np.ndarray,
+        receivers: np.ndarray | None,
+        data: np.ndarray | None,
         dt: float,
         nsteps: int,
         *,
         fault: FaultLineSource2D | None = None,
         source_params: SourceParams | None = None,
         extra_forcing: Callable[[int], np.ndarray] | None = None,
+        shots: Sequence[Shot] | None = None,
         reg: TotalVariation | None = None,
         barrier_gamma: float = 0.0,
         mu_min: float = 0.0,
@@ -117,17 +145,46 @@ class ScalarWaveInverseProblem:
         self.solver = solver
         self.grid = grid
         self.P = grid.to_elements(solver)
-        self.receivers = np.asarray(receivers, dtype=np.int64)
-        self.data = np.asarray(data, dtype=float)
-        if self.data.shape != (nsteps + 1, len(self.receivers)):
-            raise ValueError(
-                f"data must be (nsteps+1, nrec) = {(nsteps + 1, len(self.receivers))}"
-            )
+        if shots is not None:
+            if receivers is not None or data is not None:
+                raise ValueError("pass either (receivers, data, ...) or shots")
+            if fault is not None or source_params is not None or extra_forcing is not None:
+                raise ValueError("per-shot sources live on the Shot objects")
+            self.shots = [
+                s if isinstance(s, Shot) else Shot(**s) for s in shots
+            ]
+            if not self.shots:
+                raise ValueError("need at least one shot")
+        else:
+            self.shots = [
+                Shot(
+                    receivers=receivers,
+                    data=data,
+                    fault=fault,
+                    source_params=source_params,
+                    extra_forcing=extra_forcing,
+                )
+            ]
+        self.B = len(self.shots)
+        #: single-shot problems keep the exact serial sweep paths (and
+        #: bitwise results) of the original implementation
+        self._single = self.B == 1
+        for s in self.shots:
+            if s.data.shape != (nsteps + 1, len(s.receivers)):
+                raise ValueError(
+                    f"shot data must be (nsteps+1, nrec) = "
+                    f"{(nsteps + 1, len(s.receivers))}, got {s.data.shape}"
+                )
+        shot0 = self.shots[0]
+        # legacy single-shot attribute surface (joint/source inversion
+        # and the checkpointed gradient read these)
+        self.receivers = shot0.receivers if self._single else None
+        self.data = shot0.data if self._single else None
+        self.fault = shot0.fault if self._single else None
+        self.source_params = shot0.source_params if self._single else None
+        self.extra_forcing = shot0.extra_forcing if self._single else None
         self.dt = float(dt)
         self.nsteps = int(nsteps)
-        self.fault = fault
-        self.source_params = source_params
-        self.extra_forcing = extra_forcing
         self.reg = reg
         self.barrier_gamma = float(barrier_gamma)
         self.mu_min = float(mu_min)
@@ -144,6 +201,22 @@ class ScalarWaveInverseProblem:
         #: by the Table 3.1 benchmark
         self.n_wave_solves = 0
 
+    @classmethod
+    def multi_shot(
+        cls,
+        solver: RegularGridScalarWave,
+        grid: MaterialGrid,
+        shots: Sequence[Shot],
+        dt: float,
+        nsteps: int,
+        **kwargs,
+    ) -> "ScalarWaveInverseProblem":
+        """Multi-shot constructor: the misfit sums over ``shots`` and
+        every gradient / Gauss-Newton Hv evaluation runs exactly one
+        batched forward and one batched adjoint march regardless of
+        the shot count."""
+        return cls(solver, grid, None, None, dt, nsteps, shots=shots, **kwargs)
+
     @property
     def n(self) -> int:
         return self.grid.n
@@ -153,14 +226,14 @@ class ScalarWaveInverseProblem:
 
     # ------------------------------------------------------------ forward
 
-    def _total_forcing(self, mu_e: np.ndarray):
+    def _shot_forcing(self, shot: Shot, mu_e: np.ndarray):
         parts = []
-        if self.fault is not None:
-            if self.source_params is None:
+        if shot.fault is not None:
+            if shot.source_params is None:
                 raise ValueError("fault requires source_params")
-            parts.append(self.fault.forcing(mu_e, self.source_params, self.dt))
-        if self.extra_forcing is not None:
-            parts.append(self.extra_forcing)
+            parts.append(shot.fault.forcing(mu_e, shot.source_params, self.dt))
+        if shot.extra_forcing is not None:
+            parts.append(shot.extra_forcing)
         if not parts:
             raise ValueError("no sources configured")
         if len(parts) == 1:
@@ -177,17 +250,36 @@ class ScalarWaveInverseProblem:
 
         return combined
 
+    def _total_forcing(self, mu_e: np.ndarray):
+        if not self._single:
+            raise ValueError("multi-shot problems force per shot")
+        return self._shot_forcing(self.shots[0], mu_e)
+
     def forward(self, m: np.ndarray) -> ForwardState:
         mu_e = self.mu_elements(m)
         if np.any(mu_e <= 0):
             raise FloatingPointError("non-positive modulus in forward model")
-        u = self.solver.march(
-            mu_e, self._total_forcing(mu_e), self.nsteps, self.dt, store=True
-        )
-        self.n_wave_solves += 1
-        residual = u[:, self.receivers] - self.data
+        if self._single:
+            u = self.solver.march(
+                mu_e, self._total_forcing(mu_e), self.nsteps, self.dt,
+                store=True,
+            )
+            self.n_wave_solves += 1
+            residuals = [u[:, self.receivers] - self.data]
+        else:
+            # ONE batched march advances every shot's state column
+            cols = [self._shot_forcing(s, mu_e) for s in self.shots]
+            u = self.solver.march(
+                mu_e, batched_forcing(cols, self.solver.nnode),
+                self.nsteps, self.dt, store=True, batch=self.B,
+            )
+            self.n_wave_solves += 1
+            residuals = [
+                u[:, s.receivers, i] - s.data
+                for i, s in enumerate(self.shots)
+            ]
         return ForwardState(m=np.asarray(m, float).copy(), mu_e=mu_e, u=u,
-                            residual=residual)
+                            residuals=residuals)
 
     # ---------------------------------------------------------- objective
 
@@ -200,8 +292,9 @@ class ScalarWaveInverseProblem:
         return convolve1d(r, self.residual_smoother, axis=0, mode="constant")
 
     def data_misfit(self, state: ForwardState) -> float:
-        fr = self._smooth(state.residual)
-        return 0.5 * self.dt * float(np.sum(fr**2))
+        return 0.5 * self.dt * float(
+            sum(np.sum(self._smooth(r) ** 2) for r in state.residuals)
+        )
 
     def objective(self, m: np.ndarray, state: ForwardState | None = None):
         """Total objective and its parts; reuses ``state`` if given."""
@@ -246,22 +339,45 @@ class ScalarWaveInverseProblem:
         lam[2 : N + 1] = x[2 : N + 1][::-1]
         return lam
 
+    def _adjoint_states_multi(
+        self, mu_e: np.ndarray, rhs_list: list[np.ndarray]
+    ) -> np.ndarray:
+        """Batched :meth:`_adjoint_states`: shot ``s``'s receiver
+        residual series drives adjoint column ``s``, all columns in
+        ONE reversed march.  Returns ``lam`` ``(N+1, nnode, B)``."""
+        N = self.nsteps
+        fbuf = np.zeros((self.solver.nnode, self.B))
+        recs = [s.receivers for s in self.shots]
+
+        def forcing(mrev: int):
+            j = N + 1 - mrev
+            for s, rs in enumerate(recs):
+                fbuf[rs, s] = -self.dt * rhs_list[s][j]
+            return fbuf
+
+        x = self.solver.march(
+            mu_e, forcing, N, self.dt, store=True, batch=self.B
+        )
+        self.n_wave_solves += 1
+        lam = np.zeros((N + 1, self.solver.nnode, self.B))
+        lam[2 : N + 1] = x[2 : N + 1][::-1]
+        return lam
+
     def _material_accumulation(
-        self,
-        mu_e: np.ndarray,
-        u: np.ndarray,
-        lam: np.ndarray,
-        params: SourceParams | None,
+        self, mu_e: np.ndarray, u: np.ndarray, lam: np.ndarray
     ) -> np.ndarray:
         """``g_e = sum_k lam^{k+1,T} [dt^2 K_e u^k + (dt/2) C_e (u^{k+1}
         - u^{k-1}) - dt^2 db^k/dmu_e]`` — shared by gradient and GN Hv.
 
         Vectorized over time in chunks (the accumulation dominates the
-        cost of a gradient once the wave solves are cheap)."""
+        cost of a gradient once the wave solves are cheap).  Multi-shot
+        fields ``(nt, nnode, B)`` contract over time *and* shots; the
+        per-shot fault coupling slices its own column."""
         N = self.nsteps
         dt = self.dt
         g = np.zeros(self.solver.nelem)
         chunk = 128
+        multi = u.ndim == 3
         for k0 in range(1, N, chunk):
             ks = np.arange(k0, min(k0 + chunk, N))
             L = lam[ks + 1]
@@ -269,24 +385,36 @@ class ScalarWaveInverseProblem:
             g += 0.5 * dt * self.solver.C_material_gradient_batch(
                 u[ks + 1] - u[ks - 1], L, mu_e
             )
-            if self.fault is not None and params is not None:
-                g -= dt**2 * self.fault.material_gradient_batch(
-                    L, params, ks * dt
+            for s, shot in enumerate(self.shots):
+                if shot.fault is None or shot.source_params is None:
+                    continue
+                Ls = L[:, :, s] if multi else L
+                g -= dt**2 * shot.fault.material_gradient_batch(
+                    Ls, shot.source_params, ks * dt
                 )
         return g
 
     def gradient(self, m: np.ndarray, state: ForwardState | None = None):
-        """Exact discrete gradient; returns ``(g, J, state)``."""
+        """Exact discrete gradient; returns ``(g, J, state)``.
+
+        Multi-shot: the residual columns of every shot drive ONE
+        batched adjoint march (on top of the one batched forward march
+        in :meth:`forward`), so the wave-solve count per gradient is 2
+        regardless of the shot count."""
         if state is None:
             state = self.forward(m)
         J, _, _ = self.objective(m, state)
         # adjoint forcing: F^T F r (= F F r for the symmetric smoother)
-        lam = self._adjoint_states(
-            state.mu_e, self._smooth(self._smooth(state.residual))
-        )
-        g_e = self._material_accumulation(
-            state.mu_e, state.u, lam, self.source_params
-        )
+        if self._single:
+            lam = self._adjoint_states(
+                state.mu_e, self._smooth(self._smooth(state.residual))
+            )
+        else:
+            lam = self._adjoint_states_multi(
+                state.mu_e,
+                [self._smooth(self._smooth(r)) for r in state.residuals],
+            )
+        g_e = self._material_accumulation(state.mu_e, state.u, lam)
         g = self.P.T @ g_e
         if self.reg is not None:
             g = g + self.reg.gradient(m)
@@ -314,6 +442,11 @@ class ScalarWaveInverseProblem:
             checkpoint_schedule,
         )
 
+        if not self._single:
+            raise NotImplementedError(
+                "checkpointed gradients are single-shot only; multi-shot "
+                "gradients already run one batched sweep each way"
+            )
         mu_e = self.mu_elements(m)
         if np.any(mu_e <= 0):
             raise FloatingPointError("non-positive modulus in forward model")
@@ -405,7 +538,9 @@ class ScalarWaveInverseProblem:
     def gn_hessvec(self, v: np.ndarray, state: ForwardState) -> np.ndarray:
         """Gauss-Newton Hessian action ``H v`` at ``state.m``.
 
-        One incremental forward plus one incremental adjoint solve.
+        One incremental forward plus one incremental adjoint solve —
+        batched over all shots for multi-shot problems (wave-solve
+        count 2 per call regardless of the shot count).
         """
         mu_e = state.mu_e
         u = state.u
@@ -413,27 +548,67 @@ class ScalarWaveInverseProblem:
         dt = self.dt
         N = self.nsteps
         C_delta = self.solver.damping_diag_perturbation(mu_e, dmu_e)
-        fault_f = (
-            self.fault.forcing_from_mu_perturbation(
-                dmu_e, self.source_params, dt
+        if self._single:
+            fault_f = (
+                self.fault.forcing_from_mu_perturbation(
+                    dmu_e, self.source_params, dt
+                )
+                if self.fault is not None
+                else None
             )
-            if self.fault is not None
-            else None
-        )
 
-        def forcing(k):
-            f = -0.5 * dt * C_delta * (u[k + 1] - u[k - 1])
-            f -= dt**2 * self.solver.apply_K(dmu_e, u[k])
-            if fault_f is not None:
-                f += fault_f(k)
-            return f
+            def forcing(k):
+                f = -0.5 * dt * C_delta * (u[k + 1] - u[k - 1])
+                f -= dt**2 * self.solver.apply_K(dmu_e, u[k])
+                if fault_f is not None:
+                    f += fault_f(k)
+                return f
 
-        du = self.solver.march(mu_e, forcing, N, dt, store=True)
-        self.n_wave_solves += 1
-        lam_t = self._adjoint_states(
-            mu_e, self._smooth(self._smooth(du[:, self.receivers]))
-        )
-        h_e = self._material_accumulation(mu_e, u, lam_t, self.source_params)
+            du = self.solver.march(mu_e, forcing, N, dt, store=True)
+            self.n_wave_solves += 1
+            lam_t = self._adjoint_states(
+                mu_e, self._smooth(self._smooth(du[:, self.receivers]))
+            )
+        else:
+            C_col = C_delta[:, None]
+            fault_fs = [
+                s.fault.forcing_from_mu_perturbation(
+                    dmu_e, s.source_params, dt
+                )
+                if s.fault is not None
+                else None
+                for s in self.shots
+            ]
+            fblock = np.empty((self.solver.nnode, self.B))
+
+            def forcing(k):
+                # incremental forcing for every shot column at once;
+                # the stiffness term is one level-3 apply on u^k's
+                # (nnode, B) block
+                np.subtract(u[k + 1], u[k - 1], out=fblock)
+                np.multiply(fblock, (-0.5 * dt) * C_col, out=fblock)
+                np.subtract(
+                    fblock,
+                    dt**2 * self.solver.apply_K(dmu_e, u[k]),
+                    out=fblock,
+                )
+                for s, ff in enumerate(fault_fs):
+                    if ff is not None:
+                        fblock[:, s] += ff(k)
+                return fblock
+
+            du = self.solver.march(
+                mu_e, forcing, N, dt, store=True, batch=self.B
+            )
+            self.n_wave_solves += 1
+            lam_t = self._adjoint_states_multi(
+                mu_e,
+                [
+                    self._smooth(self._smooth(du[:, s.receivers, i]))
+                    for i, s in enumerate(self.shots)
+                ],
+            )
+        h_e = self._material_accumulation(mu_e, u, lam_t)
         Hv = self.P.T @ h_e
         if self.reg is not None:
             Hv = Hv + self.reg.hessvec(state.m, v)

@@ -22,7 +22,10 @@ from repro.parallel.simcomm import (
 )
 from repro.parallel.transport import ProcWorld, measure_transport
 from repro.parallel.decomposition import DistributedElasticOperator
-from repro.parallel.dist_solver import DistributedWaveSolver
+from repro.parallel.dist_solver import (
+    DistributedWaveSolver,
+    recommend_sharding,
+)
 from repro.parallel.perfmodel import (
     MachineModel,
     ALPHASERVER_ES45,
@@ -40,6 +43,7 @@ __all__ = [
     "measure_transport",
     "DistributedElasticOperator",
     "DistributedWaveSolver",
+    "recommend_sharding",
     "MachineModel",
     "ALPHASERVER_ES45",
     "ScalabilityRow",

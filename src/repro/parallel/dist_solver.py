@@ -30,6 +30,15 @@ message for message.
 Scope: lumped mass, Lysmer absorbing damping (the ``c1`` coupling and
 hanging-node projection would add further interface reductions; the
 accounting for those is already covered by the operator-level layer).
+
+Two parallelisation axes are available.  :meth:`DistributedWaveSolver.
+run` shards the **domain**: each worker owns an element partition and
+exchanges interface partial sums every step.  :meth:`DistributedWave
+Solver.run_shots` shards the **scenario batch**: each worker holds the
+whole domain and marches its slice of the shots as one batched
+(level-3) time loop — zero boundary traffic, at the cost of replicating
+the full mesh per worker.  :func:`recommend_sharding` encodes the
+trade-off.
 """
 
 from __future__ import annotations
@@ -48,6 +57,46 @@ from repro.physics.cfl import stable_timestep
 from repro.physics.elastic import lame_from_velocities
 from repro.physics.stacey import stacey_boundary_matrices, stacey_coefficients
 from repro.solver.wave_solver import DEFAULT_ABSORBING
+
+
+def recommend_sharding(
+    nelem: int,
+    nshots: int,
+    nworkers: int,
+    *,
+    nnode: int | None = None,
+    worker_mem_bytes: float = 2.0e9,
+) -> str:
+    """Pick the parallelisation axis for an ensemble run: ``"shots"``
+    or ``"domain"``.
+
+    Shot sharding wins whenever it is feasible, because it removes the
+    per-step interface exchange entirely (the scaling bottleneck the
+    paper's machine model is built around) and each worker's batched
+    level-3 stiffness application is more cache-efficient than B
+    separate matvecs.  It is feasible when
+
+    * there are at least as many shots as workers (otherwise some
+      workers idle — domain decomposition keeps them all busy), and
+    * one worker can hold the *whole* mesh plus its shot slice's state:
+      roughly the operator workspace (gather/apply buffers scale with
+      ``nelem * 24`` doubles per batch column) plus six ``(nnode, 3)``
+      state blocks per shot.
+
+    Otherwise shard the domain.  Hybrid sharding (shot groups x
+    subdomains) would interpolate; we keep the axes pure so the
+    measured traffic of each regime stays interpretable.
+    """
+    if nshots < nworkers:
+        return "domain"
+    if nnode is None:
+        nnode = int(1.3 * nelem) + 1  # conforming hex meshes: nnode ~ nelem
+    b_local = -(-nshots // nworkers)  # ceil
+    op_bytes = 8 * nelem * 24 * (2 * b_local + 2)
+    state_bytes = 8 * 6 * nnode * 3 * b_local
+    if op_bytes + state_bytes > worker_mem_bytes:
+        return "domain"
+    return "shots"
 
 
 def _hoist_update_terms(m_local, C_local, dt):
@@ -163,6 +212,77 @@ def _rank_program(comm, payload):
     return {"t_compute": t_compute, "t_wait": t_wait, "nsteps": nsteps}
 
 
+def _march_shot_slice(
+    op, m2, inv_A, prev_coef, force_fns, nnode, dt, nsteps, add_flops=None
+):
+    """March one worker's shot slice over the *whole* domain as a
+    single batched time loop.  Shared by the in-process and
+    worker-process paths so shot-sharded trajectories are bit-identical
+    across transports; each column also reproduces the corresponding
+    single-shot run bit for bit (the batched ``matmat`` guarantees
+    per-column identity, and every other term is elementwise).
+
+    ``m2``/``inv_A``/``prev_coef`` carry a trailing broadcast axis;
+    returns the final ``(nnode, 3, B)`` displacement block.
+    """
+    B = len(force_fns)
+    dt2 = dt * dt
+    callers = [_make_force_caller(fn, nnode) for fn in force_fns]
+    u_prev = np.zeros((nnode, 3, B))
+    u = np.zeros((nnode, 3, B))
+    u_next = np.zeros((nnode, 3, B))
+    Ku = np.empty((nnode, 3, B))
+    tmp = np.empty((nnode, 3, B))
+    fbuf = np.zeros((nnode, 3, B))
+    flops_step = op.flops_per_matvec * B + 15 * nnode * B
+
+    for k in range(nsteps):
+        t = k * dt
+        live = False
+        for b, fn in enumerate(callers):
+            f = fn(t)
+            if f is None:
+                fbuf[:, :, b] = 0.0
+            else:
+                fbuf[:, :, b] = f
+                live = True
+        op.matmat(u, out=Ku)
+        _local_update(
+            Ku, tmp, u, u_prev, u_next, m2, inv_A, prev_coef,
+            fbuf if live else None, dt2,
+        )
+        u_prev, u, u_next = u, u_next, u_prev
+        if add_flops is not None:
+            add_flops(flops_step)
+    return u
+
+
+def _shot_program(comm, payload):
+    """Shot-sharded SPMD program: build the global operator and march
+    this worker's slice of the scenario batch.  No sends, no receives —
+    the transport carries nothing but the final states, written into
+    the named shared result array (disjoint shot rows per worker)."""
+    p = payload
+    idx = p["shots"]
+    name, B, nnode = p["result"]
+    if len(idx) == 0:
+        return {"t_compute": 0.0, "nsteps": p["nsteps"], "nshots": 0}
+    op = ElasticOperator(p["conn"], p["h"], p["lam"], p["mu"], nnode)
+    t0 = time.perf_counter()
+    u = _march_shot_slice(
+        op, p["m2"], p["inv_A"], p["prev_coef"], p["force_fns"],
+        nnode, p["dt"], p["nsteps"], add_flops=comm.add_flops,
+    )
+    t_compute = time.perf_counter() - t0
+    shm, res = attach_shared_array(name, (B, nnode, 3))
+    res[idx] = np.moveaxis(u, 2, 0)
+    del res  # drop the exported view before closing the mapping
+    shm.close()
+    return {
+        "t_compute": t_compute, "nsteps": p["nsteps"], "nshots": len(idx)
+    }
+
+
 class DistributedWaveSolver:
     """SPMD central-difference elastodynamics on an element partition.
 
@@ -220,6 +340,10 @@ class DistributedWaveSolver:
         C_global, _ = stacey_boundary_matrices(
             faces, mesh.nnode, include_c1=False
         )
+        # kept whole for the shot-sharded path (each worker then needs
+        # the full-domain mass/damping, not a rank slice)
+        self._m_global = m_global
+        self._C_global = C_global
         self.m_local = [m_global[rp.nodes][:, None] for rp in self.dist.ranks]
         self.C_local = [C_global[rp.nodes] for rp in self.dist.ranks]
         for r, rp in enumerate(self.dist.ranks):
@@ -249,6 +373,89 @@ class DistributedWaveSolver:
                 )
             return self._run_proc(force_fn, nsteps)
         return self._run_sim(force_fn, nsteps, callback)
+
+    def run_shots(self, force_fns: Sequence, t_end: float) -> np.ndarray:
+        """Shot-sharded ensemble run: march ``B = len(force_fns)``
+        scenarios to ``t_end``, each worker advancing a contiguous
+        slice of the batch over the **whole** domain with the batched
+        level-3 stiffness kernel.  No per-step boundary traffic crosses
+        the transport — see :func:`recommend_sharding` for when this
+        beats domain decomposition.
+
+        Each ``force_fns[b]`` follows the same convention as
+        :meth:`run`'s ``force_fn`` (``t -> (nnode, 3)`` or the
+        buffer-reusing ``(t, out)`` form); on the process transport
+        every entry must be picklable.  Returns the final displacements
+        as ``(B, nnode, 3)``; row ``b`` is bit-identical to the same
+        scenario marched alone.
+        """
+        B = len(force_fns)
+        if B == 0:
+            raise ValueError("need at least one shot")
+        nsteps = int(np.ceil(t_end / self.dt))
+        mesh = self.mesh
+        m2, inv_A, prev_coef = _hoist_update_terms(
+            [self._m_global[:, None]], [self._C_global], self.dt
+        )
+        # trailing broadcast axis over the batch columns
+        m2 = m2[0][:, :, None]
+        inv_A = inv_A[0][:, :, None]
+        prev_coef = prev_coef[0][:, :, None]
+        slices = np.array_split(np.arange(B), self.world.nranks)
+
+        if hasattr(self.world, "run_spmd"):
+            shm, result = create_shared_array((B, mesh.nnode, 3))
+            try:
+                result.fill(0.0)
+                payloads = [
+                    {
+                        "conn": mesh.conn,
+                        "h": mesh.elem_h,
+                        "lam": self._lam,
+                        "mu": self._mu,
+                        "m2": m2,
+                        "inv_A": inv_A,
+                        "prev_coef": prev_coef,
+                        "dt": self.dt,
+                        "nsteps": nsteps,
+                        "shots": idx,
+                        "force_fns": [force_fns[i] for i in idx],
+                        "result": (shm.name, B, mesh.nnode),
+                    }
+                    for idx in slices
+                ]
+                self.last_timings = self.world.run_spmd(
+                    _shot_program, payloads
+                )
+                out = result.copy()
+            finally:
+                del result  # drop the exported view before closing
+                shm.close()
+                shm.unlink()
+            return out
+
+        # in-process path: the identical per-slice arithmetic, one
+        # worker at a time (separate operators so each slice's batch
+        # workspace matches its width)
+        out = np.zeros((B, mesh.nnode, 3))
+        for r, idx in enumerate(slices):
+            if len(idx) == 0:
+                continue
+            op = ElasticOperator(
+                mesh.conn, mesh.elem_h, self._lam, self._mu, mesh.nnode
+            )
+            stats = self.world.stats[r]
+
+            def add_flops(n, stats=stats):
+                stats.flops += int(n)
+
+            u = _march_shot_slice(
+                op, m2, inv_A, prev_coef,
+                [force_fns[i] for i in idx],
+                mesh.nnode, self.dt, nsteps, add_flops=add_flops,
+            )
+            out[idx] = np.moveaxis(u, 2, 0)
+        return out
 
     # ------------------------------------------------- in-process path
 

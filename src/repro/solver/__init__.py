@@ -16,12 +16,13 @@ substrate of the inverse problem (2D antiplane and 3D scalar).
 
 from repro.solver.wave_solver import ElasticWaveSolver
 from repro.solver.tet_solver import TetWaveSolver
-from repro.solver.scalarwave import RegularGridScalarWave
+from repro.solver.scalarwave import RegularGridScalarWave, batched_forcing
 from repro.solver.checkpoint import checkpoint_schedule
 
 __all__ = [
     "ElasticWaveSolver",
     "TetWaveSolver",
     "RegularGridScalarWave",
+    "batched_forcing",
     "checkpoint_schedule",
 ]

@@ -34,6 +34,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.backend import get_backend
+from repro.backend.sparse_ops import ScatterPlan
 from repro.fem.scalar_element import scalar_stiffness_reference
 
 #: boundary classification helpers: (axis, side) pairs
@@ -90,6 +91,32 @@ class RegularGridScalarWave:
             absorbing.remove((self.d - 1, 0))  # free surface on top
         self.absorbing = tuple(absorbing)
         self._boundary = [self._boundary_face(a, s) for (a, s) in self.absorbing]
+        # planned scatters replacing the per-sweep np.add.at passes:
+        # concatenating the absorbing planes preserves the sequential
+        # per-plane accumulation order (the plan's stable sort keeps
+        # slots ascending within each destination), so every result is
+        # bitwise identical to the np.add.at original
+        nfc = 1 << (self.d - 1)
+        if self._boundary:
+            self._bnd_elems = np.ascontiguousarray(
+                np.concatenate([e for e, _ in self._boundary])
+            )
+            self._bnd_fnodes = np.ascontiguousarray(
+                np.concatenate([fn for _, fn in self._boundary], axis=0)
+            )
+        else:
+            self._bnd_elems = np.zeros(0, dtype=np.int64)
+            self._bnd_fnodes = np.zeros((0, nfc), dtype=np.int64)
+        self._bnd_node_plan = ScatterPlan(self._bnd_fnodes.ravel(), self.nnode)
+        self._bnd_node_ones = np.ones(self._bnd_node_plan.nnz)
+        self._bnd_elem_plan = ScatterPlan(self._bnd_elems, self.nelem)
+        self._bnd_elem_ones = np.ones(self._bnd_elem_plan.nnz)
+        self._conn_plan = ScatterPlan(self._conn_flat, self.nnode)
+        self._conn_ones = np.ones(self._conn_plan.nnz)
+        # single-entry cache of the hoisted march invariants (see
+        # _march_coeffs): forward/adjoint/incremental sweeps of one
+        # gradient or Hessian-vector evaluation share the same iterate
+        self._coeff_cache = None
         # fused stiffness kernel (coefficients vary per call: the
         # inversion sweeps evaluate many material iterates)
         self._kernel = get_backend().element_kernel(
@@ -148,17 +175,31 @@ class RegularGridScalarWave:
     def apply_K(
         self, mu: np.ndarray, u: np.ndarray, out: np.ndarray | None = None
     ) -> np.ndarray:
-        """Stiffness action ``K(mu) u`` for per-element ``mu``.  Pass a
-        preallocated ``out`` to make the call allocation-free."""
+        """Stiffness action ``K(mu) u`` for per-element ``mu``.
+
+        ``u`` may be a single state ``(nnode,)`` or a scenario batch
+        ``(nnode, B)`` (each column advanced by one level-3 kernel
+        call, bit-identical to the serial apply).  Pass a preallocated
+        ``out`` to make the call allocation-free.  The kernels index
+        flat memory, so ``u`` must be C-contiguous — asserted here
+        instead of silently copied (the old ``np.ascontiguousarray``
+        hid a full-state copy per call for strided inputs)."""
         np.multiply(
             np.asarray(mu, dtype=float), self.h ** (self.d - 2),
             out=self._coef,
         )
+        u = np.asarray(u, dtype=float)
+        if not u.flags.c_contiguous:
+            raise ValueError(
+                "u must be C-contiguous (copy strided views once at the "
+                "call site, outside the time loop)"
+            )
         if out is None:
-            out = np.empty(self.nnode)
-        self._kernel.matvec(
-            np.ascontiguousarray(u), out, coefs=(self._coef,)
-        )
+            out = np.empty(u.shape)
+        if u.ndim == 2:
+            self._kernel.matmat(u, out, coefs=(self._coef,))
+        else:
+            self._kernel.matvec(u, out, coefs=(self._coef,))
         return out
 
     def K_diagonal(self, mu: np.ndarray) -> np.ndarray:
@@ -182,9 +223,14 @@ class RegularGridScalarWave:
         self, u: np.ndarray, lam: np.ndarray
     ) -> np.ndarray:
         """Time-batched :meth:`K_material_gradient`: ``u``/``lam`` have
-        shape ``(nt, nnode)``; returns the per-element sum over time."""
+        shape ``(nt, nnode)`` — or ``(nt, nnode, B)`` for shot batches,
+        contracted over time *and* shots; returns the per-element sum."""
         U = u[:, self.conn]
         L = lam[:, self.conn]
+        if u.ndim == 3:
+            return self.h ** (self.d - 2) * np.einsum(
+                "teib,ij,tejb->e", L, self.K_ref, U
+            )
         return self.h ** (self.d - 2) * np.einsum(
             "tei,ij,tej->e", L, self.K_ref, U
         )
@@ -192,14 +238,27 @@ class RegularGridScalarWave:
     def C_material_gradient_batch(
         self, w: np.ndarray, lam: np.ndarray, mu: np.ndarray
     ) -> np.ndarray:
-        """Time-batched :meth:`C_material_gradient` (summed over time)."""
+        """Time-batched :meth:`C_material_gradient` (summed over time).
+
+        ``w``/``lam`` may be ``(nt, nnode)`` or shot-batched
+        ``(nt, nnode, B)`` (contracted over time, components *and*
+        shots — the multi-shot gradient accumulation)."""
         mu = np.asarray(mu, dtype=float)
         g = np.zeros(self.nelem)
+        if not len(self._bnd_elems):
+            return g
         ww = self.h ** (self.d - 1) / (1 << (self.d - 1))
-        for elems, fnodes in self._boundary:
-            dcdmu = 0.5 * np.sqrt(self.rho / mu[elems]) * ww
+        fnodes = self._bnd_fnodes
+        dcdmu = 0.5 * np.sqrt(self.rho / mu[self._bnd_elems]) * ww
+        if w.ndim == 3:
+            contrib = np.einsum(
+                "tsfb,tsfb->s", lam[:, fnodes], w[:, fnodes]
+            )
+        else:
             contrib = np.einsum("tsf,tsf->s", lam[:, fnodes], w[:, fnodes])
-            np.add.at(g, elems, dcdmu * contrib)
+        self._bnd_elem_plan.scatter_acc(
+            self._bnd_elem_ones, dcdmu * contrib, g
+        )
         return g
 
     def damping_diag(self, mu: np.ndarray) -> np.ndarray:
@@ -207,10 +266,15 @@ class RegularGridScalarWave:
         per face corner, accumulated over absorbing planes."""
         mu = np.asarray(mu, dtype=float)
         C = np.zeros(self.nnode)
+        if not len(self._bnd_elems):
+            return C
         w = self.h ** (self.d - 1) / (1 << (self.d - 1))
-        for elems, fnodes in self._boundary:
-            c = np.sqrt(self.rho * mu[elems]) * w
-            np.add.at(C, fnodes.ravel(), np.repeat(c, fnodes.shape[1]))
+        c = np.sqrt(self.rho * mu[self._bnd_elems]) * w
+        self._bnd_node_plan.scatter_acc(
+            self._bnd_node_ones,
+            np.repeat(c, self._bnd_fnodes.shape[1]),
+            C,
+        )
         return C
 
     def volume_damping_diag(self, alpha: np.ndarray) -> np.ndarray:
@@ -221,21 +285,22 @@ class RegularGridScalarWave:
         alpha = np.asarray(alpha, dtype=float)
         nn = 1 << self.d
         w = self.rho * self.h**self.d / nn
-        return np.bincount(
-            self._conn_flat,
-            weights=np.repeat(alpha * w, nn),
-            minlength=self.nnode,
+        out = np.zeros(self.nnode)
+        self._conn_plan.scatter_acc(
+            self._conn_ones, np.repeat(alpha * w, nn), out
         )
+        return out
 
     def alpha_material_gradient_batch(
         self, w_field: np.ndarray, adj: np.ndarray
     ) -> np.ndarray:
         """Per-element ``sum_t adj^T (dC/dalpha_e) w`` for time-batched
-        nodal fields ``(nt, nnode)``."""
+        nodal fields ``(nt, nnode)`` or shot batches ``(nt, nnode, B)``."""
         nn = 1 << self.d
         lump = self.rho * self.h**self.d / nn
+        spec = "tefb,tefb->e" if adj.ndim == 3 else "tef,tef->e"
         contrib = np.einsum(
-            "tef,tef->e", adj[:, self.conn], w_field[:, self.conn]
+            spec, adj[:, self.conn], w_field[:, self.conn]
         )
         return lump * contrib
 
@@ -247,10 +312,16 @@ class RegularGridScalarWave:
         mu = np.asarray(mu, dtype=float)
         dmu = np.asarray(dmu, dtype=float)
         out = np.zeros(self.nnode)
+        if not len(self._bnd_elems):
+            return out
         w = self.h ** (self.d - 1) / (1 << (self.d - 1))
-        for elems, fnodes in self._boundary:
-            dc = 0.5 * np.sqrt(self.rho / mu[elems]) * w * dmu[elems]
-            np.add.at(out, fnodes.ravel(), np.repeat(dc, fnodes.shape[1]))
+        e = self._bnd_elems
+        dc = 0.5 * np.sqrt(self.rho / mu[e]) * w * dmu[e]
+        self._bnd_node_plan.scatter_acc(
+            self._bnd_node_ones,
+            np.repeat(dc, self._bnd_fnodes.shape[1]),
+            out,
+        )
         return out
 
     def C_material_gradient(
@@ -260,11 +331,15 @@ class RegularGridScalarWave:
         boundary elements): ``dC/dmu_e = 0.5 sqrt(rho/mu_e) * lumping``."""
         mu = np.asarray(mu, dtype=float)
         g = np.zeros(self.nelem)
+        if not len(self._bnd_elems):
+            return g
         w = self.h ** (self.d - 1) / (1 << (self.d - 1))
-        for elems, fnodes in self._boundary:
-            dcdmu = 0.5 * np.sqrt(self.rho / mu[elems]) * w
-            contrib = np.sum(lam[fnodes] * w_field[fnodes], axis=1)
-            np.add.at(g, elems, dcdmu * contrib)
+        fnodes = self._bnd_fnodes
+        dcdmu = 0.5 * np.sqrt(self.rho / mu[self._bnd_elems]) * w
+        contrib = np.sum(lam[fnodes] * w_field[fnodes], axis=1)
+        self._bnd_elem_plan.scatter_acc(
+            self._bnd_elem_ones, dcdmu * contrib, g
+        )
         return g
 
     def plane_wave_injection(
@@ -296,16 +371,21 @@ class RegularGridScalarWave:
         elems, fnodes = self._boundary[self.absorbing.index((axis, side))]
         w = self.h ** (self.d - 1) / (1 << (self.d - 1))
         coef = 2.0 * np.sqrt(self.rho * mu[elems]) * w  # per face element
-        flat = fnodes.ravel()
-        amp = dt**2 * np.repeat(coef, fnodes.shape[1])
+        # the accumulated per-node amplitude is time-invariant: fold the
+        # scatter into one bincount here and scale it per step (the old
+        # np.add.at per call was pure waste)
+        amp_node = np.bincount(
+            fnodes.ravel(),
+            weights=dt**2 * np.repeat(coef, fnodes.shape[1]),
+            minlength=self.nnode,
+        )
         buf = np.zeros(self.nnode)  # reused: march only reads it
 
         def forcing(k: int) -> np.ndarray | None:
             v = float(incident_velocity(k * dt))
             if v == 0.0:
                 return None
-            buf[flat] = 0.0
-            np.add.at(buf, flat, amp * v)
+            np.multiply(amp_node, v, out=buf)
             return buf
 
         return forcing
@@ -315,6 +395,38 @@ class RegularGridScalarWave:
     def stable_dt(self, mu: np.ndarray, *, safety: float = 0.5) -> float:
         vmax = float(np.sqrt(np.max(mu) / self.rho))
         return safety * self.h / (vmax * np.sqrt(self.d))
+
+    def _march_coeffs(self, mu, dt: float, alpha):
+        """Hoisted leapfrog invariants ``(inv_a_plus, a_minus)`` with a
+        single-entry cache keyed on the material iterate: the forward,
+        adjoint, and incremental sweeps of one gradient or
+        Gauss-Newton Hv evaluation all run on the *same* ``mu``, so
+        recomputing the damping diagonal and the LHS inverse for each
+        sweep (2x per CG iteration) was pure rework."""
+        mu = np.asarray(mu, dtype=float)
+        alpha = None if alpha is None else np.asarray(alpha, dtype=float)
+        c = self._coeff_cache
+        if (
+            c is not None
+            and c[2] == dt
+            and np.array_equal(c[0], mu)
+            and (c[1] is None) == (alpha is None)
+            and (c[1] is None or np.array_equal(c[1], alpha))
+        ):
+            return c[3], c[4]
+        C = self.damping_diag(mu)
+        if alpha is not None:
+            C = C + self.volume_damping_diag(alpha)
+        inv_a_plus = 1.0 / (self.m + 0.5 * dt * C)
+        a_minus = self.m - 0.5 * dt * C
+        self._coeff_cache = (
+            mu.copy(),
+            None if alpha is None else alpha.copy(),
+            dt,
+            inv_a_plus,
+            a_minus,
+        )
+        return inv_a_plus, a_minus
 
     def march(
         self,
@@ -328,6 +440,7 @@ class RegularGridScalarWave:
         x0: np.ndarray | None = None,
         x1: np.ndarray | None = None,
         alpha: np.ndarray | None = None,
+        batch: int | None = None,
     ) -> np.ndarray | None:
         """Run the leapfrog ``A+ x^{k+1} = (2M - dt^2 K) x^k - A- x^{k-1}
         + f^k``; ``forcing(k)`` supplies ``f^k`` (may be None).
@@ -337,25 +450,51 @@ class RegularGridScalarWave:
         adds per-element mass-proportional attenuation.  Returns the
         state history ``(nsteps + 1, nnode)`` when ``store``, else the
         final two states stacked as ``(2, nnode)``.
+
+        ``batch=B`` advances ``B`` scenarios at once: states are
+        ``(nnode, B)`` column blocks, ``forcing(k)`` returns
+        ``(nnode, B)`` (or None), initial states are 2D, and the
+        history gains a trailing batch axis.  All B columns share one
+        fused leapfrog loop — one level-3 stiffness application and
+        one set of broadcast diagonal updates per step instead of B of
+        each — and every column is bit-identical to the corresponding
+        serial march (same summation orders throughout; see
+        :func:`batched_forcing` for stacking per-scenario forcings).
+        ``batch`` may also be inferred from a 2D ``x0``/``x1``.
         """
-        C = self.damping_diag(mu)
-        if alpha is not None:
-            C = C + self.volume_damping_diag(alpha)
+        if batch is None and x0 is not None and np.ndim(x0) == 2:
+            batch = np.shape(x0)[1]
+        if batch is None and x1 is not None and np.ndim(x1) == 2:
+            batch = np.shape(x1)[1]
+        shape = (self.nnode,) if batch is None else (self.nnode, int(batch))
+        inv_a_plus, a_minus = self._march_coeffs(mu, dt, alpha)
         # hoisted invariants: 2M, the inverse LHS diagonal (division ->
-        # multiply in the loop), and dt^2
-        inv_a_plus = 1.0 / (self.m + 0.5 * dt * C)
-        a_minus = self.m - 0.5 * dt * C
+        # multiply in the loop), and dt^2; for a batch the per-node
+        # diagonals broadcast as column vectors over all B columns
         m2 = 2.0 * self.m
+        if batch is not None:
+            m2 = m2[:, None]
+            inv_a_plus = inv_a_plus[:, None]
+            a_minus = a_minus[:, None]
         dt2 = dt * dt
         # per-call state/scratch buffers (march stays reentrant); the
         # steady-state loop itself is in-place with buffer rotation —
         # zero per-step O(nnode) allocations
-        x_prev = np.zeros(self.nnode) if x0 is None else np.asarray(x0, float).copy()
-        x = np.zeros(self.nnode) if x1 is None else np.asarray(x1, float).copy()
-        x_next = np.empty(self.nnode)
-        r = np.empty(self.nnode)
-        Kx = np.empty(self.nnode)
-        hist = np.zeros((nsteps + 1, self.nnode)) if store else None
+
+        def _state(xi):
+            if xi is None:
+                return np.zeros(shape)
+            xi = np.asarray(xi, dtype=float)
+            if xi.shape != shape:
+                raise ValueError(f"initial state must be {shape}, got {xi.shape}")
+            return xi.copy()
+
+        x_prev = _state(x0)
+        x = _state(x1)
+        x_next = np.empty(shape)
+        r = np.empty(shape)
+        Kx = np.empty(shape)
+        hist = np.zeros((nsteps + 1, *shape)) if store else None
         if store:
             hist[0] = x_prev
             hist[1] = x
@@ -381,3 +520,40 @@ class RegularGridScalarWave:
         if store:
             return hist
         return np.stack([x_prev, x])
+
+
+def batched_forcing(
+    columns: Sequence[Callable[[int], np.ndarray | None] | None],
+    nnode: int,
+) -> Callable[[int], np.ndarray | None]:
+    """Stack per-scenario ``forcing(k)`` callables into the single
+    ``(nnode, B)`` block forcing a batched :meth:`march` consumes.
+
+    A scenario whose callable is None (or returns None at a step)
+    contributes a zero column — adding zero leaves the other columns'
+    trajectories bit-identical to their serial runs (``np.array_equal``;
+    a ``-0.0`` may flip sign bit, which compares equal).  The block
+    buffer is reused across steps, matching march's read-only forcing
+    contract."""
+    cols = list(columns)
+    B = len(cols)
+    buf = np.zeros((nnode, B))
+    col_live = np.zeros(B, dtype=bool)  # column nonzero in buf
+
+    def forcing(k: int) -> np.ndarray | None:
+        live = False
+        for b, fn in enumerate(cols):
+            f = None if fn is None else fn(k)
+            if f is None:
+                # zero the column once on the live -> quiet transition,
+                # then skip the fill while the source stays silent
+                if col_live[b]:
+                    buf[:, b] = 0.0
+                    col_live[b] = False
+            else:
+                buf[:, b] = f
+                col_live[b] = True
+                live = True
+        return buf if live else None
+
+    return forcing
