@@ -11,6 +11,9 @@ from __future__ import annotations
 
 import os
 
+from repro import telemetry
+from repro.util.timing import Timer
+
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
 
 
@@ -27,3 +30,35 @@ def run_once(benchmark, fn):
     """Run ``fn`` exactly once under pytest-benchmark and return its
     value (simulations are too long for statistical repetition)."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def timed(span_name: str, fn, *args, **kwargs):
+    """Run ``fn(*args, **kwargs)`` inside a telemetry span and a
+    :class:`Timer`; returns ``(result, seconds)``.
+
+    Replaces the hand-paired ``time.perf_counter()`` calls the
+    benchmarks used to carry: the wall time feeds the benchmark's own
+    tables as before, and when telemetry is enabled the same interval
+    lands in the trace under ``span_name``.
+    """
+    with Timer() as t, telemetry.span(span_name):
+        result = fn(*args, **kwargs)
+    return result, t.seconds
+
+
+def export_telemetry(name: str) -> dict | None:
+    """Write the active trace + a PerfReport under ``benchmarks/out/``
+    (``<name>.trace.jsonl`` / ``<name>.perfreport.txt``).  No-op (None)
+    when telemetry is disabled; returns the report dict otherwise."""
+    if not telemetry.enabled():
+        return None
+    os.makedirs(OUT_DIR, exist_ok=True)
+    telemetry.dump_jsonl(os.path.join(OUT_DIR, f"{name}.trace.jsonl"))
+    report = telemetry.PerfReport.collect(
+        tracer=telemetry.current_tracer(),
+        metrics=telemetry.metrics(),
+        title=f"PerfReport: {name}",
+    )
+    with open(os.path.join(OUT_DIR, f"{name}.perfreport.txt"), "w") as f:
+        f.write(report.as_text() + "\n")
+    return report.as_dict()

@@ -22,9 +22,10 @@ from __future__ import annotations
 
 import argparse
 import json
-import time
 
 import numpy as np
+
+from _common import export_telemetry, timed
 
 from repro.backend import available_backends, use_backend
 from repro.materials import HomogeneousMaterial
@@ -48,12 +49,9 @@ def _time_pair(looped, batched, repeat: int) -> tuple[float, float]:
     that best-of-N timing lets poison one side of the division."""
     pairs = []
     for _ in range(repeat):
-        t0 = time.perf_counter()
-        looped()
-        t_l = time.perf_counter() - t0
-        t0 = time.perf_counter()
-        batched()
-        pairs.append((t_l, time.perf_counter() - t0))
+        _, t_l = timed("bench.looped", looped)
+        _, t_b = timed("bench.batched", batched)
+        pairs.append((t_l, t_b))
     pairs.sort(key=lambda p: p[0] / p[1])
     return pairs[len(pairs) // 2]
 
@@ -235,6 +233,7 @@ def main(argv=None) -> dict:
     with open(args.json, "w") as f:
         json.dump(results, f, indent=2)
     print(f"wrote {args.json}")
+    export_telemetry("bench_batch")
     return results
 
 

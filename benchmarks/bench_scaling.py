@@ -34,9 +34,10 @@ from __future__ import annotations
 import argparse
 import json
 import os
-import time
 
 import numpy as np
+
+from _common import export_telemetry, timed
 
 from repro.fem import ElasticOperator
 from repro.materials import HomogeneousMaterial
@@ -95,9 +96,10 @@ def serial_reference(mesh, tree, force, nsteps):
 
     # half-step offsets keep ceil(t_end / dt) unambiguous under float
     # roundoff: exactly nsteps + 1 serial steps, nsteps distributed
-    t0 = time.perf_counter()
-    solver.run(force, (nsteps + 0.5) * solver.dt, callback=cb)
-    elapsed = time.perf_counter() - t0
+    _, elapsed = timed(
+        "bench.serial", solver.run, force, (nsteps + 0.5) * solver.dt,
+        callback=cb,
+    )
     # don't charge the distributed runs for the extra observation step
     return solver.dt, elapsed * nsteps / (nsteps + 1), out["u"]
 
@@ -111,18 +113,20 @@ def measure_flop_rate(mesh, repeats: int = 20) -> float:
     u = np.random.default_rng(0).standard_normal((mesh.nnode, 3))
     out = np.empty_like(u)
     op.matvec(u, out=out)  # warm-up
-    t0 = time.perf_counter()
-    for _ in range(repeats):
-        op.matvec(u, out=out)
-    dt = time.perf_counter() - t0
+
+    def _loop():
+        for _ in range(repeats):
+            op.matvec(u, out=out)
+
+    _, dt = timed("bench.flop_rate", _loop)
     return op.flops_per_matvec * repeats / dt
 
 
 def run_distributed(world, mesh, parts, force, dt, nsteps):
     solver = DistributedWaveSolver(mesh, MAT, parts, world, dt=dt)
-    t0 = time.perf_counter()
-    u = solver.run(force, (nsteps - 0.5) * dt)
-    elapsed = time.perf_counter() - t0
+    u, elapsed = timed(
+        "bench.distributed", solver.run, force, (nsteps - 0.5) * dt
+    )
     return elapsed, u, getattr(solver, "last_timings", None)
 
 
@@ -214,6 +218,7 @@ def main(argv=None) -> dict:
     with open(args.json, "w") as f:
         json.dump(result, f, indent=2)
     print(f"wrote {args.json} (cpu_count={result['cpu_count']})")
+    export_telemetry("bench_scaling")
     return result
 
 

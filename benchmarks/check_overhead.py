@@ -1,0 +1,186 @@
+"""Telemetry-off overhead gate.
+
+The telemetry subsystem promises *near-zero cost when disabled*: the
+hot loops pay one module-level ``None`` check per span and nothing
+else.  This script holds that promise to a number.  It marches the
+same quickstart-scale elastic problem two ways:
+
+* the instrumented :meth:`ElasticWaveSolver.run` with telemetry
+  disabled (the shipping configuration);
+* a *replica loop* — the identical per-step numpy sequence with every
+  telemetry call stripped, i.e. the pre-telemetry seed loop.
+
+Both runs must produce bitwise-identical final states (the replica is
+checked against the solver, so it cannot silently drift), and the
+instrumented loop must be within ``--tol`` (default 2%) of the
+replica.  Repeats are interleaved and the minimum of each side is
+compared, so CPU frequency drift hits both sides equally and a single
+descheduled rep cannot poison the ratio.
+
+Exits nonzero when the gate fails — wire it into CI after the test
+suite::
+
+    python benchmarks/check_overhead.py            # default gate
+    python benchmarks/check_overhead.py --tol 0.05 --repeat 9
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro import telemetry
+from repro.backend import spmv_acc, spmv_into
+from repro.materials import HomogeneousMaterial
+from repro.mesh import extract_mesh
+from repro.octree import build_adaptive_octree
+from repro.solver import ElasticWaveSolver
+
+MAT = HomogeneousMaterial(vs=1000.0, vp=1800.0, rho=2000.0)
+L = 1000.0
+
+
+def build_solver(n: int) -> ElasticWaveSolver:
+    tree = build_adaptive_octree(
+        lambda c, s: np.full(len(c), 1.0 / n), max_level=int(np.log2(n))
+    )
+    mesh = extract_mesh(tree, L=L)
+    return ElasticWaveSolver(mesh, tree, MAT, stacey_c1=False)
+
+
+def make_force(solver: ElasticWaveSolver):
+    node = solver.nnode // 2
+
+    def force(t, out):
+        out.fill(0.0)
+        out[node, 2] = 1e9 * np.exp(-(((t - 0.05) / 0.02) ** 2))
+        return out
+
+    return force
+
+
+def replica_run(solver: ElasticWaveSolver, force, nsteps: int) -> np.ndarray:
+    """The seed time loop: byte-for-byte the arithmetic of
+    :meth:`ElasticWaveSolver.run` (damping off) with every telemetry
+    call removed.  Returns the final ``u`` state."""
+    dt = solver.dt
+    dt2 = dt * dt
+    hd = 0.5 * dt
+    nnode = solver.nnode
+    m = solver.m[:, None]
+    m_alpha = solver.m_alpha[:, None]
+    m2 = 2.0 * m
+    prev_coef = (hd * m_alpha - m) + hd * solver.C_diag
+    u_prev = np.zeros((nnode, 3))
+    u = np.zeros((nnode, 3))
+    u_next = np.zeros((nnode, 3))
+    r = np.empty((nnode, 3))
+    Ku = np.empty((nnode, 3))
+    tmp = np.empty((nnode, 3))
+    r_bar = np.empty((solver.A_bar.shape[0], 3))
+    fbuf = np.zeros((nnode, 3))
+    flops_K = solver.K.flops_per_matvec
+    callback = None
+    receivers = None
+    snapshots = None
+    for k in range(nsteps):
+        t = k * dt
+        solver.K.matvec(u, out=Ku)
+        solver.flops.add("stiffness", flops_K)
+        np.multiply(m2, u, out=r)
+        np.multiply(Ku, dt2, out=Ku)
+        np.subtract(r, Ku, out=r)
+        if solver._has_kab:
+            spmv_acc(solver._K_AB_mdt2, u.reshape(-1), r.reshape(-1))
+        np.multiply(prev_coef, u_prev, out=tmp)
+        np.add(r, tmp, out=r)
+        b = force(t, fbuf)
+        if b is not None:
+            np.multiply(b, dt2, out=tmp)
+            np.add(r, tmp, out=r)
+        spmv_into(solver.BT, r, r_bar)
+        np.multiply(r_bar, solver._inv_A_bar, out=r_bar)
+        spmv_into(solver.B, r_bar, u_next)
+        solver.flops.add("update", 12 * nnode)
+        # the seed loop carried these per-step dispatch checks
+        if receivers is not None:
+            pass
+        if snapshots is not None:
+            pass
+        if callback is not None:
+            pass
+        u_prev, u, u_next = u, u_next, u_prev
+    return u
+
+
+def check_replica(solver: ElasticWaveSolver, force, nsteps: int) -> bool:
+    """Bitwise-compare the replica's final state u^nsteps against the
+    instrumented solver's (the callback reports pre-update states, so
+    march one extra step to observe u^nsteps)."""
+    out = {}
+
+    def cb(k, t, u):
+        if k == nsteps:
+            out["u"] = u.copy()
+
+    solver.run(force, (nsteps + 0.5) * solver.dt, callback=cb)
+    u_replica = replica_run(solver, force, nsteps)
+    return np.array_equal(out["u"], u_replica)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--size", type=int, default=8,
+                    help="mesh is size^3 elements (power of two)")
+    ap.add_argument("--steps", type=int, default=60)
+    ap.add_argument("--repeat", type=int, default=5,
+                    help="interleaved repetitions (min of each side)")
+    ap.add_argument("--tol", type=float, default=0.02,
+                    help="allowed relative overhead of the instrumented "
+                         "loop over the replica (0.02 = 2%%)")
+    args = ap.parse_args(argv)
+
+    if telemetry.enabled():
+        telemetry.disable()
+    solver = build_solver(args.size)
+    force = make_force(solver)
+
+    # correctness first: the replica must track the instrumented loop
+    # bitwise, or the timing comparison measures two different codes
+    if not check_replica(solver, force, args.steps):
+        print("FAIL: replica loop diverged from ElasticWaveSolver.run — "
+              "update the replica to match the solver's time step")
+        return 1
+
+    # both sides march exactly args.steps steps
+    t_end = (args.steps - 0.5) * solver.dt
+    t_instr = []
+    t_replica = []
+    for _ in range(args.repeat):
+        t0 = time.perf_counter()
+        solver.run(force, t_end)
+        t_instr.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        replica_run(solver, force, args.steps)
+        t_replica.append(time.perf_counter() - t0)
+
+    best_instr = min(t_instr)
+    best_replica = min(t_replica)
+    overhead = best_instr / best_replica - 1.0
+    print(
+        f"telemetry-off overhead: instrumented {best_instr * 1e3:.2f} ms, "
+        f"replica {best_replica * 1e3:.2f} ms, "
+        f"overhead {overhead * 100:+.2f}% (tol {args.tol * 100:.1f}%)"
+    )
+    if overhead > args.tol:
+        print("FAIL: disabled telemetry costs more than the tolerance")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

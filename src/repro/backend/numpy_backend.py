@@ -118,6 +118,27 @@ class NumpyElementKernel:
             self._coef = None
             self.plan.drop_order()
 
+    @property
+    def flops_per_matvec(self) -> int:
+        """Exact flop count of one stiffness application, from the
+        operation shapes: the ``(nelem, nldof) @ (nldof, nmat*nldof)``
+        block product (multiply + add per entry) plus the coefficient
+        multiply and accumulate of the folded scatter — one per
+        (element, matrix, local dof) slot, i.e. ``nmat * nldof``
+        per element, plus the output-touching adds (``nldof``)."""
+        per_elem = (
+            2 * self.nmat * self.nldof * self.nldof
+            + self.nmat * self.nldof
+            + self.nldof
+        )
+        return self.nelem * per_elem
+
+    def flops_per_matmat(self, width: int) -> int:
+        """Exact flop count of one multi-RHS application of ``width``
+        columns — each column performs the matvec arithmetic, so the
+        batched and one-RHS accountings can never drift."""
+        return int(width) * self.flops_per_matvec
+
     def set_split(self, nelem_lo: int) -> None:
         """Enable the two-phase overlapped matvec: elements
         ``[0, nelem_lo)`` (the caller orders interface elements first)
@@ -451,6 +472,16 @@ class NumpyVarMatKernel:
         self._Y = np.empty((self.nelem, self.nldof))
         self._Yb = self._Y.reshape(-1, self.ncomp)
         self._ones = np.ones(self.plan.nnz)
+
+    @property
+    def flops_per_matvec(self) -> int:
+        """Exact flop count of one apply: the per-element dense
+        ``(nldof, nldof)`` product (multiply + add) plus the scatter
+        accumulate, one add per local dof slot."""
+        return self.nelem * (2 * self.nldof * self.nldof + self.nldof)
+
+    def flops_per_matmat(self, width: int) -> int:
+        return int(width) * self.flops_per_matvec
 
     def matvec(self, u_flat, out_flat):
         out_flat.fill(0.0)

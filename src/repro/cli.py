@@ -1,12 +1,15 @@
 """Command-line interface.
 
-Three subcommands mirror the library's main workflows:
+Four subcommands mirror the library's main workflows:
 
 * ``forward``  — basin earthquake simulation to a seismogram archive;
 * ``mesh``     — etree mesh-database generation (construct/balance/
   transform) with the accounting Figure 2.1 reports;
 * ``estimate`` — mesh-size / work projection for a target frequency
-  (the paper's 8x-per-octave scaling law).
+  (the paper's 8x-per-octave scaling law);
+* ``profile``  — instrumented forward + multi-shot inversion runs
+  (serial and on both distributed transports) that emit JSONL traces
+  and Table-2.1-style :class:`~repro.telemetry.PerfReport` summaries.
 
 Examples
 --------
@@ -17,12 +20,14 @@ Examples
     python -m repro.cli forward --L 16000 --fmax 0.5 --t-end 10 \
         --out /tmp/run.npz
     python -m repro.cli mesh --L 80000 --fmax 0.1 --workdir /tmp/meshdb
+    python -m repro.cli profile --out-dir /tmp/profile --workers 2
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 import numpy as np
@@ -141,6 +146,169 @@ def cmd_forward(args) -> int:
     return 0
 
 
+class _ProfilePointForce:
+    """Picklable Gaussian point force for the profiled distributed runs
+    (worker processes unpickle the force function)."""
+
+    def __init__(self, node: int, nnode: int):
+        self.node = node
+        self.nnode = nnode
+
+    def __call__(self, t, out=None):
+        b = np.zeros((self.nnode, 3)) if out is None else out
+        b.fill(0.0)
+        b[self.node, 2] = 1e9 * np.exp(-(((t - 0.05) / 0.02) ** 2))
+        return b
+
+
+def _profile_forward(args, out_dir: str) -> list:
+    """Serial elastic baseline + distributed runs on both transports,
+    all under one trace.  Writes ``forward.trace.jsonl`` (including the
+    per-rank timeline spans) and one PerfReport per transport."""
+    from repro import telemetry
+    from repro.materials import HomogeneousMaterial
+    from repro.mesh import extract_mesh, rcb_partition
+    from repro.octree import build_adaptive_octree
+    from repro.parallel import DistributedWaveSolver, ProcWorld, SimWorld
+    from repro.solver import ElasticWaveSolver
+    from repro.util.timing import Timer
+
+    n = args.size
+    mat = HomogeneousMaterial(vs=1000.0, vp=1800.0, rho=2000.0)
+    tree = build_adaptive_octree(
+        lambda c, s: np.full(len(c), 1.0 / n), max_level=int(np.log2(n))
+    )
+    mesh = extract_mesh(tree, L=1000.0)
+    force = _ProfilePointForce(mesh.nnode // 2, mesh.nnode)
+
+    telemetry.enable()
+    serial = ElasticWaveSolver(mesh, tree, mat, stacey_c1=False)
+    dt = serial.dt
+    t_end = (args.steps - 0.5) * dt
+    with Timer() as t_serial:
+        serial.run(force, t_end)
+    print(f"forward: {mesh.nelem} elements, {args.steps} steps, "
+          f"serial {t_serial.seconds:.3f}s")
+
+    nw = args.workers
+    parts = (
+        rcb_partition(mesh.elem_centers, nw)
+        if nw > 1
+        else np.zeros(mesh.nelem, dtype=np.int64)
+    )
+    runs = []
+    solver = DistributedWaveSolver(mesh, mat, parts, SimWorld(nw), dt=dt)
+    with Timer() as t_run:
+        solver.run(force, t_end)
+    runs.append(("sim", solver.world, solver.last_timeline, t_run.seconds))
+    with ProcWorld(nw) as world:
+        solver = DistributedWaveSolver(mesh, mat, parts, world, dt=dt)
+        with Timer() as t_run:
+            solver.run(force, t_end)
+        runs.append(("proc", world, solver.last_timeline, t_run.seconds))
+
+    reports = []
+    extra = []
+    for name, world, timeline, seconds in runs:
+        report = telemetry.PerfReport.collect(
+            tracer=telemetry.current_tracer(),
+            world=world,
+            timeline=timeline,
+            flops=serial.flops,
+            metrics=telemetry.metrics(),
+            baseline_seconds=t_serial.seconds,
+            parallel_seconds=seconds,
+            nranks=nw,
+            title=f"forward elastic, {name} transport, P={nw}",
+        )
+        reports.append(report)
+        if timeline is not None:
+            for rec in timeline.span_records():
+                extra.append({**rec, "transport": name})
+        base = os.path.join(out_dir, f"forward_{name}")
+        with open(base + ".perfreport.txt", "w") as f:
+            f.write(report.as_text() + "\n")
+        with open(base + ".perfreport.json", "w") as f:
+            json.dump(report.as_dict(), f, indent=2)
+    nlines = telemetry.dump_jsonl(
+        os.path.join(out_dir, "forward.trace.jsonl"), extra_records=extra
+    )
+    print(f"forward trace: {nlines} records -> "
+          f"{os.path.join(out_dir, 'forward.trace.jsonl')}")
+    return reports
+
+
+def _profile_inverse(args, out_dir: str):
+    """Small multi-shot scalar inversion under a fresh trace; writes
+    ``inverse.trace.jsonl`` and its PerfReport."""
+    from repro import telemetry
+    from repro.inverse import (
+        FaultLineSource2D,
+        MaterialGrid,
+        ScalarWaveInverseProblem,
+        Shot,
+    )
+    from repro.inverse.gauss_newton import gauss_newton_cg
+    from repro.solver import RegularGridScalarWave
+    from repro.util.timing import Timer
+
+    telemetry.enable(fresh=True)
+    nx, nz = 16, 8
+    h = 100.0
+    solver = RegularGridScalarWave((nx, nz), h, rho=1000.0)
+    grid = MaterialGrid((4, 2), (nx * h, nz * h))
+    m_true = grid.sample(lambda p: 2.0e9 + 1.5e9 * (p[:, 1] > 400.0))
+    mu_e = grid.to_elements(solver) @ m_true
+    dt = solver.stable_dt(np.full(solver.nelem, m_true.max()))
+    nsteps = args.steps * 4
+    shots = []
+    for ix, hj in [(nx // 2, 4), (nx // 4, 3)]:
+        fault = FaultLineSource2D(solver, ix=ix, jz=range(2, 6))
+        params = fault.hypocentral_params(
+            hypo_j=hj, rupture_velocity=2000.0, u0=1.0, t0=0.3
+        )
+        u = solver.march(
+            mu_e, fault.forcing(mu_e, params, dt), nsteps, dt, store=True
+        )
+        rec = solver.surface_nodes()[::2]
+        shots.append(Shot(receivers=rec, data=u[:, rec], fault=fault,
+                          source_params=params))
+    prob = ScalarWaveInverseProblem.multi_shot(solver, grid, shots, dt, nsteps)
+    with Timer() as t_inv:
+        res = gauss_newton_cg(
+            prob, np.full(grid.n, 2.5e9), max_newton=3, cg_maxiter=8
+        )
+    print(f"inversion: {len(shots)} shots, {res.newton_iterations} Newton / "
+          f"{res.total_cg_iterations} CG iterations, "
+          f"{prob.n_wave_solves} wave solves, {t_inv.seconds:.3f}s")
+    report = telemetry.PerfReport.collect(
+        tracer=telemetry.current_tracer(),
+        metrics=telemetry.metrics(),
+        title=f"multi-shot inversion ({len(shots)} shots)",
+    )
+    base = os.path.join(out_dir, "inverse")
+    with open(base + ".perfreport.txt", "w") as f:
+        f.write(report.as_text() + "\n")
+    with open(base + ".perfreport.json", "w") as f:
+        json.dump(report.as_dict(), f, indent=2)
+    nlines = telemetry.dump_jsonl(base + ".trace.jsonl")
+    print(f"inverse trace: {nlines} records -> {base}.trace.jsonl")
+    return report
+
+
+def cmd_profile(args) -> int:
+    os.makedirs(args.out_dir, exist_ok=True)
+    reports = []
+    if args.scenario in ("forward", "all"):
+        reports.extend(_profile_forward(args, args.out_dir))
+    if args.scenario in ("inverse", "all"):
+        reports.append(_profile_inverse(args, args.out_dir))
+    for report in reports:
+        print()
+        print(report.as_text())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -174,6 +342,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pf.add_argument("--out", help="write seismograms to this .npz file")
     pf.set_defaults(func=cmd_forward)
+
+    pp = sub.add_parser(
+        "profile",
+        help="instrumented runs emitting JSONL traces and PerfReports",
+    )
+    pp.add_argument("--out-dir", default="profile_out",
+                    help="directory for traces and reports")
+    pp.add_argument("--size", type=int, default=8,
+                    help="forward mesh is size^3 elements (power of two)")
+    pp.add_argument("--steps", type=int, default=20,
+                    help="forward time steps (inversion uses 4x)")
+    pp.add_argument("--workers", type=int, default=2,
+                    help="distributed worker count (both transports)")
+    pp.add_argument(
+        "--scenario", choices=("forward", "inverse", "all"), default="all"
+    )
+    pp.set_defaults(func=cmd_profile)
     return p
 
 

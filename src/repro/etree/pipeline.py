@@ -23,6 +23,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import telemetry
 from repro.etree.database import EtreeDatabase, OctantRecord
 from repro.etree.navigation import construct_octree
 from repro.octree.balance import _balance_rounds
@@ -401,25 +402,30 @@ def generate_mesh_database(
             os.remove(p)
 
     t0 = time.perf_counter()
-    oct_db = construct_step(
-        p_oct,
-        material,
-        L=L,
-        fmax=fmax,
-        points_per_wavelength=points_per_wavelength,
-        max_level=max_level,
-        box_frac=box_frac,
-        h_min=h_min,
-        cache_pages=cache_pages,
-    )
+    with telemetry.span("mesh.construct"):
+        oct_db = construct_step(
+            p_oct,
+            material,
+            L=L,
+            fmax=fmax,
+            points_per_wavelength=points_per_wavelength,
+            max_level=max_level,
+            box_frac=box_frac,
+            h_min=h_min,
+            cache_pages=cache_pages,
+        )
     t1 = time.perf_counter()
-    bal_db = balance_step(
-        oct_db, p_bal, blocks_per_axis=blocks_per_axis, cache_pages=cache_pages
-    )
+    with telemetry.span("mesh.balance"):
+        bal_db = balance_step(
+            oct_db, p_bal, blocks_per_axis=blocks_per_axis,
+            cache_pages=cache_pages,
+        )
     t2 = time.perf_counter()
-    elem_db, node_db = transform_step(
-        bal_db, p_elem, p_node, L=L, box_frac=box_frac, cache_pages=cache_pages
-    )
+    with telemetry.span("mesh.transform"):
+        elem_db, node_db = transform_step(
+            bal_db, p_elem, p_node, L=L, box_frac=box_frac,
+            cache_pages=cache_pages,
+        )
     t3 = time.perf_counter()
 
     n_unbal = len(oct_db)

@@ -170,9 +170,18 @@ class ElasticOperator:
     @property
     def flops_per_matvec(self) -> int:
         """Floating point operations per stiffness application, the
-        count the scalability benchmark feeds the machine model."""
-        # two dense (nelem x 24) @ (24 x 24) products + scalings + scatter
-        return self.nelem * (2 * 2 * 24 * 24 + 2 * 24 + 24)
+        count the scalability benchmark feeds the machine model.
+        Delegated to the kernel (two dense ``(nelem, 24) @ (24, 24)``
+        products + coefficient scalings + scatter — the kernel's
+        general formula reduces to exactly
+        ``nelem * (2*2*24*24 + 2*24 + 24)`` here)."""
+        return self._kernel.flops_per_matvec
+
+    def flops_per_matmat(self, width: int) -> int:
+        """Flop count of one batched (``width``-column) application —
+        the kernel's own accounting, so it cannot drift from the
+        1-RHS count."""
+        return self._kernel.flops_per_matmat(width)
 
 
 def lumped_mass(

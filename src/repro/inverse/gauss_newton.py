@@ -17,6 +17,8 @@ import numpy as np
 
 from repro.inverse.precond import LBFGSPreconditioner
 
+from repro import telemetry
+
 
 @dataclass
 class GNResult:
@@ -53,8 +55,10 @@ def _pcg(
     r0 = np.linalg.norm(r)
     iters = 0
     for _ in range(maxiter):
-        Hp = hessvec(p)
+        with telemetry.span("gn.cg_iter"):
+            Hp = hessvec(p)
         iters += 1
+        telemetry.sample("gn.cg_residual", float(np.linalg.norm(r)))
         pHp = float(p @ Hp)
         if precond is not None:
             precond.stage_pair(p, Hp)
@@ -106,11 +110,14 @@ def gauss_newton_cg(
     ``min(cg_forcing, sqrt(|g|/|g0|))`` for superlinear convergence.
     """
     m = np.asarray(m0, dtype=float).copy()
-    g, J, state = problem.gradient(m)
+    with telemetry.span("gn.gradient"):
+        g, J, state = problem.gradient(m)
     g0_norm = np.linalg.norm(g)
     total_cg = 0
     history = [{"J": J, "gnorm": g0_norm}]
     converged = False
+    telemetry.sample("gn.J", J, step=0)
+    telemetry.sample("gn.gnorm", float(g0_norm), step=0)
 
     for it in range(max_newton):
         gnorm = np.linalg.norm(g)
@@ -118,14 +125,17 @@ def gauss_newton_cg(
             converged = True
             break
         eta = min(cg_forcing, np.sqrt(gnorm / max(g0_norm, 1e-30)))
-        d, cg_iters = _pcg(
-            lambda v: problem.gn_hessvec(v, state),
-            g,
-            tol=eta,
-            maxiter=cg_maxiter,
-            precond=precond,
-        )
+        with telemetry.span("gn.cg_solve") as _cg:
+            d, cg_iters = _pcg(
+                lambda v: problem.gn_hessvec(v, state),
+                g,
+                tol=eta,
+                maxiter=cg_maxiter,
+                precond=precond,
+            )
+            _cg.add("cg_iters", cg_iters)
         total_cg += cg_iters
+        telemetry.sample("gn.cg_iters", cg_iters, step=it)
         if precond is not None:
             precond.commit()
 
@@ -149,21 +159,25 @@ def gauss_newton_cg(
             d = -g
             gTd = -gnorm**2
         accepted = False
-        for _ in range(armijo_max_backtracks):
-            m_try = m + step * d
-            J_try, _, state_try = problem.objective(m_try)
-            if np.isfinite(J_try) and J_try <= J + armijo_c * step * gTd:
-                accepted = True
-                break
-            step *= armijo_shrink
+        with telemetry.span("gn.line_search"):
+            for _ in range(armijo_max_backtracks):
+                m_try = m + step * d
+                J_try, _, state_try = problem.objective(m_try)
+                if np.isfinite(J_try) and J_try <= J + armijo_c * step * gTd:
+                    accepted = True
+                    break
+                step *= armijo_shrink
         if not accepted:
             break
         m = m_try
-        g, J, state = problem.gradient(m, state_try)
+        with telemetry.span("gn.gradient"):
+            g, J, state = problem.gradient(m, state_try)
         history.append(
             {"J": J, "gnorm": float(np.linalg.norm(g)), "cg": cg_iters,
              "step": step}
         )
+        telemetry.sample("gn.J", J, step=it + 1)
+        telemetry.sample("gn.gnorm", history[-1]["gnorm"], step=it + 1)
         if verbose:
             print(
                 f"GN {it + 1:3d}: J={J:.6e} |g|={history[-1]['gnorm']:.3e} "

@@ -37,6 +37,8 @@ from repro.inverse.parametrization import MaterialGrid
 from repro.inverse.regularization import TotalVariation
 from repro.solver.scalarwave import RegularGridScalarWave, batched_forcing
 
+from repro import telemetry
+
 
 def gaussian_time_kernel(dt: float, f_cut: float, *, width: float = 4.0) -> np.ndarray:
     """Symmetric Gaussian low-pass kernel for frequency continuation.
@@ -259,25 +261,27 @@ class ScalarWaveInverseProblem:
         mu_e = self.mu_elements(m)
         if np.any(mu_e <= 0):
             raise FloatingPointError("non-positive modulus in forward model")
-        if self._single:
-            u = self.solver.march(
-                mu_e, self._total_forcing(mu_e), self.nsteps, self.dt,
-                store=True,
-            )
-            self.n_wave_solves += 1
-            residuals = [u[:, self.receivers] - self.data]
-        else:
-            # ONE batched march advances every shot's state column
-            cols = [self._shot_forcing(s, mu_e) for s in self.shots]
-            u = self.solver.march(
-                mu_e, batched_forcing(cols, self.solver.nnode),
-                self.nsteps, self.dt, store=True, batch=self.B,
-            )
-            self.n_wave_solves += 1
-            residuals = [
-                u[:, s.receivers, i] - s.data
-                for i, s in enumerate(self.shots)
-            ]
+        with telemetry.span("inverse.forward") as _s:
+            if self._single:
+                u = self.solver.march(
+                    mu_e, self._total_forcing(mu_e), self.nsteps, self.dt,
+                    store=True,
+                )
+                self.n_wave_solves += 1
+                residuals = [u[:, self.receivers] - self.data]
+            else:
+                # ONE batched march advances every shot's state column
+                cols = [self._shot_forcing(s, mu_e) for s in self.shots]
+                u = self.solver.march(
+                    mu_e, batched_forcing(cols, self.solver.nnode),
+                    self.nsteps, self.dt, store=True, batch=self.B,
+                )
+                self.n_wave_solves += 1
+                residuals = [
+                    u[:, s.receivers, i] - s.data
+                    for i, s in enumerate(self.shots)
+                ]
+            _s.add("wave_solves", 1)
         return ForwardState(m=np.asarray(m, float).copy(), mu_e=mu_e, u=u,
                             residuals=residuals)
 
@@ -333,7 +337,9 @@ class ScalarWaveInverseProblem:
             fbuf[self.receivers] = -self.dt * rhs_series[j]
             return fbuf
 
-        x = self.solver.march(mu_e, forcing, N, self.dt, store=True)
+        with telemetry.span("inverse.adjoint") as _s:
+            x = self.solver.march(mu_e, forcing, N, self.dt, store=True)
+            _s.add("wave_solves", 1)
         self.n_wave_solves += 1
         lam = np.zeros((N + 1, self.solver.nnode))
         lam[2 : N + 1] = x[2 : N + 1][::-1]
@@ -355,9 +361,11 @@ class ScalarWaveInverseProblem:
                 fbuf[rs, s] = -self.dt * rhs_list[s][j]
             return fbuf
 
-        x = self.solver.march(
-            mu_e, forcing, N, self.dt, store=True, batch=self.B
-        )
+        with telemetry.span("inverse.adjoint") as _s:
+            x = self.solver.march(
+                mu_e, forcing, N, self.dt, store=True, batch=self.B
+            )
+            _s.add("wave_solves", 1)
         self.n_wave_solves += 1
         lam = np.zeros((N + 1, self.solver.nnode, self.B))
         lam[2 : N + 1] = x[2 : N + 1][::-1]
@@ -564,7 +572,9 @@ class ScalarWaveInverseProblem:
                     f += fault_f(k)
                 return f
 
-            du = self.solver.march(mu_e, forcing, N, dt, store=True)
+            with telemetry.span("inverse.gn_hessvec") as _s:
+                du = self.solver.march(mu_e, forcing, N, dt, store=True)
+                _s.add("wave_solves", 1)
             self.n_wave_solves += 1
             lam_t = self._adjoint_states(
                 mu_e, self._smooth(self._smooth(du[:, self.receivers]))
@@ -597,9 +607,11 @@ class ScalarWaveInverseProblem:
                         fblock[:, s] += ff(k)
                 return fblock
 
-            du = self.solver.march(
-                mu_e, forcing, N, dt, store=True, batch=self.B
-            )
+            with telemetry.span("inverse.gn_hessvec") as _s:
+                du = self.solver.march(
+                    mu_e, forcing, N, dt, store=True, batch=self.B
+                )
+                _s.add("wave_solves", 1)
             self.n_wave_solves += 1
             lam_t = self._adjoint_states_multi(
                 mu_e,

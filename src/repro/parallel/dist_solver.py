@@ -53,10 +53,13 @@ from repro.fem.assembly import ElasticOperator, lumped_mass
 from repro.mesh.hexmesh import HexMesh
 from repro.parallel.decomposition import DistributedElasticOperator
 from repro.parallel.transport import attach_shared_array, create_shared_array
+from repro.telemetry.timeline import MergedTimeline, RankTimeline
 from repro.physics.cfl import stable_timestep
 from repro.physics.elastic import lame_from_velocities
 from repro.physics.stacey import stacey_boundary_matrices, stacey_coefficients
 from repro.solver.wave_solver import DEFAULT_ABSORBING
+
+from repro import telemetry
 
 
 def recommend_sharding(
@@ -175,6 +178,12 @@ def _rank_program(comm, payload):
     flops_mv = op.flops_per_matvec
     t_compute = 0.0
     t_wait = 0.0
+    # the master's telemetry flag does not propagate into the worker
+    # process, so per-step timeline recording is requested through the
+    # payload; the t0..t5 readings are taken either way (the scaling
+    # benchmark consumes t_compute/t_wait), recording just keeps them
+    tl = RankTimeline(rank, nsteps) if p.get("timeline") else None
+    dur = tl.durations if tl is not None else None
 
     for k in range(nsteps):
         t = k * dt
@@ -203,13 +212,22 @@ def _rank_program(comm, payload):
         t5 = time.perf_counter()
         t_compute += (t1 - t0) + (t3 - t2) + (t5 - t4)
         t_wait += (t2 - t1) + (t4 - t3)
+        if dur is not None:
+            dur[k, 0] = t1 - t0  # interface (+ force eval)
+            dur[k, 1] = t2 - t1  # send
+            dur[k, 2] = t3 - t2  # interior
+            dur[k, 3] = t4 - t3  # recv
+            dur[k, 4] = t5 - t4  # accumulate + update
 
     name, nnode_global = p["result"]
     shm, res = attach_shared_array(name, (nnode_global, 3))
     res[p["gather_nodes"]] = u[p["gather_local"]]
     del res  # drop the exported view before closing the mapping
     shm.close()
-    return {"t_compute": t_compute, "t_wait": t_wait, "nsteps": nsteps}
+    out = {"t_compute": t_compute, "t_wait": t_wait, "nsteps": nsteps}
+    if tl is not None:
+        out["timeline"] = tl.to_payload()
+    return out
 
 
 def _march_shot_slice(
@@ -234,7 +252,8 @@ def _march_shot_slice(
     Ku = np.empty((nnode, 3, B))
     tmp = np.empty((nnode, 3, B))
     fbuf = np.zeros((nnode, 3, B))
-    flops_step = op.flops_per_matvec * B + 15 * nnode * B
+    # kernel-provided batched count (cannot drift from the 1-RHS rate)
+    flops_step = op.flops_per_matmat(B) + 15 * nnode * B
 
     for k in range(nsteps):
         t = k * dt
@@ -349,8 +368,10 @@ class DistributedWaveSolver:
         for r, rp in enumerate(self.dist.ranks):
             # account the setup exchange (mass + damping on interfaces)
             for o, (loc, _) in rp.shared_with.items():
-                world.stats[r].messages_sent += 1
-                world.stats[r].bytes_sent += 8 * 4 * len(loc)
+                world.stats[r].record_send(r, o, 8 * 4 * len(loc))
+        #: merged per-rank timeline of the most recent :meth:`run`,
+        #: populated when telemetry is enabled at run time
+        self.last_timeline: MergedTimeline | None = None
 
     def run(
         self,
@@ -365,14 +386,18 @@ class DistributedWaveSolver:
         displacement, gathered deterministically (each grid point from
         its lowest co-owning rank) for verification."""
         nsteps = int(np.ceil(t_end / self.dt))
-        if hasattr(self.world, "run_spmd"):
-            if callback is not None:
-                raise ValueError(
-                    "callback is not supported on the process transport "
-                    "(state lives in the workers); use a SimWorld"
-                )
-            return self._run_proc(force_fn, nsteps)
-        return self._run_sim(force_fn, nsteps, callback)
+        with telemetry.span("dist.run") as _s:
+            _s.add("nsteps", nsteps)
+            _s.add("nranks", self.world.nranks)
+            if hasattr(self.world, "run_spmd"):
+                if callback is not None:
+                    raise ValueError(
+                        "callback is not supported on the process "
+                        "transport (state lives in the workers); use a "
+                        "SimWorld"
+                    )
+                return self._run_proc(force_fn, nsteps)
+            return self._run_sim(force_fn, nsteps, callback)
 
     def run_shots(self, force_fns: Sequence, t_end: float) -> np.ndarray:
         """Shot-sharded ensemble run: march ``B = len(force_fns)``
@@ -477,29 +502,59 @@ class DistributedWaveSolver:
         tmp = [np.empty((len(rp.nodes), 3)) for rp in ranks]
         comms = world.comms()
         force = _make_force_caller(force_fn, self.mesh.nnode)
+        # per-rank timelines (telemetry only): each rank's share of the
+        # globally ordered supersteps is timed individually, so the
+        # merged view is structurally equivalent to the process
+        # transport's (same ranks, steps, phases; wall times differ —
+        # here the "overlap" phases are serialized on one core)
+        tls = (
+            [RankTimeline(r, nsteps) for r in range(world.nranks)]
+            if telemetry.enabled()
+            else None
+        )
+        durs = [tl.durations for tl in tls] if tls is not None else None
+        clock = time.perf_counter
 
         for k in range(nsteps):
             t = k * dt
             b_global = force(t)
             # phase 1: interface elements -> boundary partials complete
             for r, rp in enumerate(ranks):
+                if durs is not None:
+                    _t = clock()
                 dist.ops[r].matvec_interface(u[r], Ku[r])
                 world.stats[r].flops += dist.ops[r].flops_per_matvec
+                if durs is not None:
+                    durs[r][k, 0] = clock() - _t
             # phase 2: post all boundary sends
             for r, rp in enumerate(ranks):
+                if durs is not None:
+                    _t = clock()
                 for o, (loc, _) in rp.shared_with.items():
                     comms[r].Send(Ku[r][loc], o, tag=r)
+                if durs is not None:
+                    durs[r][k, 1] = clock() - _t
             # phase 3: interior elements (the work the exchange hides
             # behind on the process transport)
             for r, rp in enumerate(ranks):
+                if durs is not None:
+                    _t = clock()
                 dist.ops[r].matvec_interior_acc(u[r], Ku[r])
+                if durs is not None:
+                    durs[r][k, 2] = clock() - _t
             # phase 4: receive and accumulate partial sums
             for r, rp in enumerate(ranks):
+                if durs is not None:
+                    _t = clock()
                 for o, (loc, _) in rp.shared_with.items():
                     Ku[r][loc] += comms[r].Recv(o, tag=o)
                     world.stats[r].flops += 3 * len(loc)
+                if durs is not None:
+                    durs[r][k, 3] = clock() - _t
             # phase 5: local update (nodal data now consistent)
             for r, rp in enumerate(ranks):
+                if durs is not None:
+                    _t = clock()
                 b = b_global[rp.nodes] if b_global is not None else None
                 _local_update(
                     Ku[r], tmp[r], u[r], u_prev[r], u_next[r],
@@ -507,9 +562,13 @@ class DistributedWaveSolver:
                 )
                 u_prev[r], u[r], u_next[r] = u[r], u_next[r], u_prev[r]
                 world.stats[r].flops += 15 * len(rp.nodes)
+                if durs is not None:
+                    durs[r][k, 4] = clock() - _t
             if callback is not None:
                 callback(k, t, u)
 
+        if tls is not None:
+            self.last_timeline = MergedTimeline(tls)
         return dist.gather_field(u)
 
     # --------------------------------------------- worker-process path
@@ -536,6 +595,7 @@ class DistributedWaveSolver:
             self.m_local, self.C_local, self.dt
         )
         shm, result = create_shared_array((mesh.nnode, 3))
+        want_timeline = telemetry.enabled()
         try:
             result.fill(0.0)
             payloads = []
@@ -561,10 +621,18 @@ class DistributedWaveSolver:
                         "gather_nodes": rp.gather_nodes,
                         "gather_local": rp.gather_local,
                         "result": (shm.name, mesh.nnode),
+                        "timeline": want_timeline,
                     }
                 )
             timings = world.run_spmd(_rank_program, payloads)
             self.last_timings = timings
+            if want_timeline:
+                self.last_timeline = MergedTimeline(
+                    [
+                        RankTimeline.from_payload(t["timeline"])
+                        for t in timings
+                    ]
+                )
             out = result.copy()
         finally:
             del result  # drop the exported view before closing

@@ -31,7 +31,7 @@ Transport protocol (what a world must provide to back a ``SimComm``)::
 from __future__ import annotations
 
 from collections import defaultdict, deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -42,22 +42,58 @@ COLLECTIVE_TAG = -1
 
 @dataclass
 class TrafficStats:
-    """Per-rank communication and work accounting."""
+    """Per-rank communication and work accounting.
+
+    ``peers`` attributes every accounted send to its ``(src, dst)``
+    rank pair as ``(messages, bytes)``; the scalar fields remain the
+    authoritative totals (callers still bump them directly for modeled
+    traffic that has no peer, e.g. machine-model estimates), and
+    :meth:`record_send` keeps both in lockstep.
+    """
 
     messages_sent: int = 0
     bytes_sent: int = 0
     flops: int = 0
+    peers: dict = field(default_factory=dict)
+
+    def record_send(self, src: int, dst: int, nbytes: int) -> None:
+        """Account one message of ``nbytes`` from ``src`` to ``dst``:
+        bumps the scalar totals and the per-pair matrix together."""
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        m, b = self.peers.get((src, dst), (0, 0))
+        self.peers[(src, dst)] = (m + 1, b + nbytes)
 
     def copy(self) -> "TrafficStats":
-        return TrafficStats(self.messages_sent, self.bytes_sent, self.flops)
+        return TrafficStats(
+            self.messages_sent,
+            self.bytes_sent,
+            self.flops,
+            dict(self.peers),
+        )
 
     def merge(self, other: "TrafficStats") -> None:
         self.messages_sent += other.messages_sent
         self.bytes_sent += other.bytes_sent
         self.flops += other.flops
+        for pair, (m, b) in other.peers.items():
+            pm, pb = self.peers.get(pair, (0, 0))
+            self.peers[pair] = (pm + m, pb + b)
 
     def as_tuple(self) -> tuple[int, int, int]:
         return (self.messages_sent, self.bytes_sent, self.flops)
+
+    def peers_payload(self) -> list:
+        """Pickle/pipe-friendly form of the peer matrix."""
+        return [
+            (src, dst, m, b)
+            for (src, dst), (m, b) in sorted(self.peers.items())
+        ]
+
+    def merge_peers_payload(self, payload) -> None:
+        for src, dst, m, b in payload:
+            pm, pb = self.peers.get((src, dst), (0, 0))
+            self.peers[(src, dst)] = (pm + m, pb + b)
 
 
 def binomial_rounds(nranks: int) -> list[list[tuple[int, int]]]:
@@ -207,9 +243,7 @@ class SimWorld:
     ) -> None:
         data = np.asarray(data)
         self._mail[(rank, dest, tag)].append(data.copy())
-        st = self.stats[rank]
-        st.messages_sent += 1
-        st.bytes_sent += data.nbytes
+        self.stats[rank].record_send(rank, dest, data.nbytes)
 
     def _recv_at(
         self, rank: int, source: int, tag: int, out: np.ndarray | None = None

@@ -153,8 +153,7 @@ class ProcTransport:
     def _send_from(self, rank, data, dest, tag) -> None:
         self._check(rank)
         nbytes = self._send_chs[dest].send(data, tag)
-        self._stats.messages_sent += 1
-        self._stats.bytes_sent += nbytes
+        self._stats.record_send(self.rank, dest, nbytes)
 
     def _recv_at(self, rank, source, tag, out=None) -> np.ndarray:
         self._check(rank)
@@ -189,7 +188,14 @@ def _worker_main(rank, nranks, conn, send_chs, recv_chs, barrier):
         _, program, payload = msg
         try:
             result = program(comm, payload)
-            conn.send(("ok", result, transport._stats.as_tuple()))
+            conn.send(
+                (
+                    "ok",
+                    result,
+                    transport._stats.as_tuple(),
+                    transport._stats.peers_payload(),
+                )
+            )
             transport._stats = TrafficStats()
         except BaseException:
             try:
@@ -290,6 +296,8 @@ class ProcWorld:
                 st.messages_sent += m
                 st.bytes_sent += b
                 st.flops += f
+                if len(msg) > 3:
+                    st.merge_peers_payload(msg[3])
             else:
                 errors.append((r, msg[1]))
         if errors:

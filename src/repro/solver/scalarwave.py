@@ -37,6 +37,8 @@ from repro.backend import get_backend
 from repro.backend.sparse_ops import ScatterPlan
 from repro.fem.scalar_element import scalar_stiffness_reference
 
+from repro import telemetry
+
 #: boundary classification helpers: (axis, side) pairs
 Plane = tuple[int, int]
 
@@ -501,22 +503,38 @@ class RegularGridScalarWave:
         if on_step is not None:
             on_step(0, x_prev)
             on_step(1, x)
-        for k in range(1, nsteps):
-            f = forcing(k)
-            self.apply_K(mu, x, out=Kx)
-            np.multiply(m2, x, out=r)
-            np.multiply(Kx, dt2, out=Kx)
-            np.subtract(r, Kx, out=r)
-            np.multiply(a_minus, x_prev, out=Kx)
-            np.subtract(r, Kx, out=r)
-            if f is not None:
-                np.add(r, f, out=r)
-            np.multiply(r, inv_a_plus, out=x_next)
-            if store:
-                hist[k + 1] = x_next
-            if on_step is not None:
-                on_step(k + 1, x_next)
-            x_prev, x, x_next = x, x_next, x_prev
+        # one span per march (not per step: the inverse sweeps call
+        # march thousands of times); flops attributed in aggregate from
+        # the kernel's own per-apply count
+        with telemetry.span("scalar.march") as _m:
+            for k in range(1, nsteps):
+                f = forcing(k)
+                self.apply_K(mu, x, out=Kx)
+                np.multiply(m2, x, out=r)
+                np.multiply(Kx, dt2, out=Kx)
+                np.subtract(r, Kx, out=r)
+                np.multiply(a_minus, x_prev, out=Kx)
+                np.subtract(r, Kx, out=r)
+                if f is not None:
+                    np.add(r, f, out=r)
+                np.multiply(r, inv_a_plus, out=x_next)
+                if store:
+                    hist[k + 1] = x_next
+                if on_step is not None:
+                    on_step(k + 1, x_next)
+                x_prev, x, x_next = x, x_next, x_prev
+            napply = max(nsteps - 1, 0)
+            _m.add("steps", napply)
+            _m.add(
+                "flops",
+                napply
+                * (
+                    self._kernel.flops_per_matvec
+                    if batch is None
+                    else self._kernel.flops_per_matmat(batch)
+                )
+                + napply * 6 * int(np.prod(shape)),
+            )
         if store:
             return hist
         return np.stack([x_prev, x])

@@ -93,7 +93,8 @@ class TetWaveSolver:
         self._kernel.matvec(
             np.ascontiguousarray(u).reshape(-1), out.reshape(-1)
         )
-        self.flops.add("stiffness", self.tet.nelem * 2 * 12 * 12)
+        # kernel-provided count (dense per-element apply + scatter adds)
+        self.flops.add("stiffness", self._kernel.flops_per_matvec)
         return out
 
     def run(

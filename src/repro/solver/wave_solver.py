@@ -37,6 +37,8 @@ from repro.physics.elastic import lame_from_velocities
 from repro.physics.stacey import stacey_boundary_matrices, stacey_coefficients
 from repro.util.flops import FlopCounter
 
+from repro import telemetry
+
 #: absorbing boundary planes: all four sides plus the bottom;
 #: the free surface is (2, 0) — the z = 0 plane
 DEFAULT_ABSORBING = ((0, 0), (0, 1), (1, 0), (1, 1), (2, 1))
@@ -223,52 +225,80 @@ class ElasticWaveSolver:
         kb_u_prev = np.zeros((nnode, 3))  # beta K u^{k-1}, cached
         kb_u = np.empty((nnode, 3))
 
-        for k in range(nsteps):
-            t = k * dt
-            self.K.matvec(u, out=Ku)
-            self.flops.add("stiffness", self.K.flops_per_matvec)
-            np.multiply(m2, u, out=r)
-            np.multiply(Ku, dt2, out=Ku)
-            np.subtract(r, Ku, out=r)
-            if self._has_kab:
-                # r += (-dt^2 K_AB) u, prescaled at setup
-                spmv_acc(self._K_AB_mdt2, u.reshape(-1), r.reshape(-1))
-            if self.Kb is not None:
-                self.Kb.matvec(u, out=kb_u)
-                self.flops.add("stiffness", self.Kb.flops_per_matvec)
-                # r -= (dt/2)(Kb u - diag(Kb) u) + (dt/2) Kb u^{k-1}
-                np.multiply(kb_u, hd, out=tmp)
-                np.subtract(r, tmp, out=r)
-                np.multiply(self.Kb_diag, u, out=tmp)
-                np.multiply(tmp, hd, out=tmp)
+        # telemetry: one is-None gate per step region when disabled
+        # (literal span names, no kwargs — no hot-loop allocations)
+        tel_on = telemetry.enabled()
+        flops_K = self.K.flops_per_matvec
+        flops_Kb = 0 if self.Kb is None else self.Kb.flops_per_matvec
+        if tel_on:
+            telemetry.gauge(
+                "elastic.cfl_margin",
+                stable_timestep(self.mesh.elem_h, self.vp, safety=1.0)
+                / dt,
+            )
+        with telemetry.span("elastic.run") as _run:
+            _run.add("nsteps", nsteps)
+            _run.add("nnode", nnode)
+            for k in range(nsteps):
+                t = k * dt
+                with telemetry.span("stiffness") as _s:
+                    self.K.matvec(u, out=Ku)
+                    _s.add("flops", flops_K)
+                    _s.add("elements", self.K.nelem)
+                self.flops.add("stiffness", flops_K)
+                np.multiply(m2, u, out=r)
+                np.multiply(Ku, dt2, out=Ku)
+                np.subtract(r, Ku, out=r)
+                if self._has_kab:
+                    # r += (-dt^2 K_AB) u, prescaled at setup
+                    spmv_acc(self._K_AB_mdt2, u.reshape(-1), r.reshape(-1))
+                if self.Kb is not None:
+                    with telemetry.span("damping") as _s:
+                        self.Kb.matvec(u, out=kb_u)
+                        _s.add("flops", flops_Kb)
+                    self.flops.add("stiffness", flops_Kb)
+                    # r -= (dt/2)(Kb u - diag(Kb) u) + (dt/2) Kb u^{k-1}
+                    np.multiply(kb_u, hd, out=tmp)
+                    np.subtract(r, tmp, out=r)
+                    np.multiply(self.Kb_diag, u, out=tmp)
+                    np.multiply(tmp, hd, out=tmp)
+                    np.add(r, tmp, out=r)
+                    np.multiply(kb_u_prev, hd, out=tmp)
+                    np.add(r, tmp, out=r)
+                    kb_u_prev, kb_u = kb_u, kb_u_prev
+                np.multiply(prev_coef, u_prev, out=tmp)
                 np.add(r, tmp, out=r)
-                np.multiply(kb_u_prev, hd, out=tmp)
-                np.add(r, tmp, out=r)
-                kb_u_prev, kb_u = kb_u, kb_u_prev
-            np.multiply(prev_coef, u_prev, out=tmp)
-            np.add(r, tmp, out=r)
-            b = force_fn(t, fbuf)
-            if b is not None:
-                np.multiply(b, dt2, out=tmp)
-                np.add(r, tmp, out=r)
-            # hanging-node projection keeps the update explicit (2.5)
-            spmv_into(self.BT, r, r_bar)
-            np.multiply(r_bar, self._inv_A_bar, out=r_bar)
-            spmv_into(self.B, r_bar, u_next)
-            self.flops.add("update", 12 * nnode)
+                b = force_fn(t, fbuf)
+                if b is not None:
+                    np.multiply(b, dt2, out=tmp)
+                    np.add(r, tmp, out=r)
+                # hanging-node projection keeps the update explicit (2.5)
+                with telemetry.span("update") as _s:
+                    spmv_into(self.BT, r, r_bar)
+                    np.multiply(r_bar, self._inv_A_bar, out=r_bar)
+                    spmv_into(self.B, r_bar, u_next)
+                    _s.add("flops", 12 * nnode)
+                self.flops.add("update", 12 * nnode)
+                if tel_on:
+                    # displacement "energy" proxy — drift shows up as
+                    # unbounded growth of this per-step series
+                    telemetry.sample(
+                        "elastic.u2", float(np.vdot(u_next, u_next)), step=k
+                    )
+                    telemetry.sample_alloc(step=k)
 
-            if receivers is not None:
-                if record == "velocity":
-                    data[:, :, k] = (
-                        u_next[receivers.nodes] - u_prev[receivers.nodes]
-                    ) / (2.0 * dt)
-                else:
-                    data[:, :, k] = u[receivers.nodes]
-            if snapshots is not None:
-                snapshots.maybe_record(k, t, u)
-            if callback is not None:
-                callback(k, t, u)
-            u_prev, u, u_next = u, u_next, u_prev
+                if receivers is not None:
+                    if record == "velocity":
+                        data[:, :, k] = (
+                            u_next[receivers.nodes] - u_prev[receivers.nodes]
+                        ) / (2.0 * dt)
+                    else:
+                        data[:, :, k] = u[receivers.nodes]
+                if snapshots is not None:
+                    snapshots.maybe_record(k, t, u)
+                if callback is not None:
+                    callback(k, t, u)
+                u_prev, u, u_next = u, u_next, u_prev
 
         if receivers is None:
             return None
@@ -349,69 +379,90 @@ class ElasticWaveSolver:
         kb_u_prev = np.zeros((nnode, 3, Bn))
         kb_u = np.empty((nnode, 3, Bn))
 
-        for k in range(nsteps):
-            t = k * dt
-            self.K.matmat(u, out=Ku)
-            self.flops.add("stiffness", Bn * self.K.flops_per_matvec)
-            np.multiply(m2, u, out=r)
-            np.multiply(Ku, dt2, out=Ku)
-            np.subtract(r, Ku, out=r)
-            if self._has_kab:
-                spmv_acc(
-                    self._K_AB_mdt2,
-                    u.reshape(3 * nnode, Bn),
-                    r.reshape(3 * nnode, Bn),
-                )
-            if self.Kb is not None:
-                self.Kb.matmat(u, out=kb_u)
-                self.flops.add("stiffness", Bn * self.Kb.flops_per_matvec)
-                np.multiply(kb_u, hd, out=tmp)
-                np.subtract(r, tmp, out=r)
-                np.multiply(kb_diag, u, out=tmp)
-                np.multiply(tmp, hd, out=tmp)
+        # batched flop counts come from the kernel's own accounting so
+        # they cannot drift from the 1-RHS numbers (satellite of the
+        # telemetry rework; previously multiplied by Bn by hand here)
+        flops_K = self.K.flops_per_matmat(Bn)
+        flops_Kb = 0 if self.Kb is None else self.Kb.flops_per_matmat(Bn)
+        with telemetry.span("elastic.run_batch") as _run:
+            _run.add("nsteps", nsteps)
+            _run.add("nnode", nnode)
+            _run.add("batch", Bn)
+            for k in range(nsteps):
+                t = k * dt
+                with telemetry.span("stiffness") as _s:
+                    self.K.matmat(u, out=Ku)
+                    _s.add("flops", flops_K)
+                    _s.add("elements", self.K.nelem)
+                self.flops.add("stiffness", flops_K)
+                np.multiply(m2, u, out=r)
+                np.multiply(Ku, dt2, out=Ku)
+                np.subtract(r, Ku, out=r)
+                if self._has_kab:
+                    spmv_acc(
+                        self._K_AB_mdt2,
+                        u.reshape(3 * nnode, Bn),
+                        r.reshape(3 * nnode, Bn),
+                    )
+                if self.Kb is not None:
+                    with telemetry.span("damping") as _s:
+                        self.Kb.matmat(u, out=kb_u)
+                        _s.add("flops", flops_Kb)
+                    self.flops.add("stiffness", flops_Kb)
+                    np.multiply(kb_u, hd, out=tmp)
+                    np.subtract(r, tmp, out=r)
+                    np.multiply(kb_diag, u, out=tmp)
+                    np.multiply(tmp, hd, out=tmp)
+                    np.add(r, tmp, out=r)
+                    np.multiply(kb_u_prev, hd, out=tmp)
+                    np.add(r, tmp, out=r)
+                    kb_u_prev, kb_u = kb_u, kb_u_prev
+                np.multiply(prev_coef, u_prev, out=tmp)
                 np.add(r, tmp, out=r)
-                np.multiply(kb_u_prev, hd, out=tmp)
-                np.add(r, tmp, out=r)
-                kb_u_prev, kb_u = kb_u, kb_u_prev
-            np.multiply(prev_coef, u_prev, out=tmp)
-            np.add(r, tmp, out=r)
-            live = False
-            for b, fn in enumerate(force_fns):
-                fb = fn(t, fcol)
-                if fb is None:
-                    # a column goes quiet: zero it once, then skip the
-                    # fill until the source speaks again (the content
-                    # is zero either way, so bit-identity holds)
-                    if col_live[b]:
-                        fbuf[:, :, b] = 0.0
-                        col_live[b] = False
-                else:
-                    fbuf[:, :, b] = fb
-                    col_live[b] = True
-                    live = True
-            if live:
-                np.multiply(fbuf, dt2, out=tmp)
-                np.add(r, tmp, out=r)
-            spmv_into(
-                self.BT, r.reshape(nnode, 3 * Bn), r_bar.reshape(nbar, 3 * Bn)
-            )
-            np.multiply(r_bar, inv_A_bar, out=r_bar)
-            spmv_into(
-                self.B, r_bar.reshape(nbar, 3 * Bn), u_next.reshape(nnode, 3 * Bn)
-            )
-            self.flops.add("update", 12 * nnode * Bn)
-
-            if recs is not None:
-                for b, ra in enumerate(recs):
-                    if record == "velocity":
-                        data[b][:, :, k] = (
-                            u_next[ra.nodes, :, b] - u_prev[ra.nodes, :, b]
-                        ) / (2.0 * dt)
+                live = False
+                for b, fn in enumerate(force_fns):
+                    fb = fn(t, fcol)
+                    if fb is None:
+                        # a column goes quiet: zero it once, then skip
+                        # the fill until the source speaks again (the
+                        # content is zero either way, so bit-identity
+                        # holds)
+                        if col_live[b]:
+                            fbuf[:, :, b] = 0.0
+                            col_live[b] = False
                     else:
-                        data[b][:, :, k] = u[ra.nodes, :, b]
-            if callback is not None:
-                callback(k, t, u)
-            u_prev, u, u_next = u, u_next, u_prev
+                        fbuf[:, :, b] = fb
+                        col_live[b] = True
+                        live = True
+                if live:
+                    np.multiply(fbuf, dt2, out=tmp)
+                    np.add(r, tmp, out=r)
+                with telemetry.span("update") as _s:
+                    spmv_into(
+                        self.BT,
+                        r.reshape(nnode, 3 * Bn),
+                        r_bar.reshape(nbar, 3 * Bn),
+                    )
+                    np.multiply(r_bar, inv_A_bar, out=r_bar)
+                    spmv_into(
+                        self.B,
+                        r_bar.reshape(nbar, 3 * Bn),
+                        u_next.reshape(nnode, 3 * Bn),
+                    )
+                    _s.add("flops", 12 * nnode * Bn)
+                self.flops.add("update", 12 * nnode * Bn)
+
+                if recs is not None:
+                    for b, ra in enumerate(recs):
+                        if record == "velocity":
+                            data[b][:, :, k] = (
+                                u_next[ra.nodes, :, b] - u_prev[ra.nodes, :, b]
+                            ) / (2.0 * dt)
+                        else:
+                            data[b][:, :, k] = u[ra.nodes, :, b]
+                if callback is not None:
+                    callback(k, t, u)
+                u_prev, u, u_next = u, u_next, u_prev
 
         if recs is None:
             return None

@@ -1,0 +1,146 @@
+"""``repro.telemetry`` — unified instrumentation for the repro stack.
+
+One subsystem answers "where did the time go" for any run:
+
+* **spans** — hierarchical tracing (:func:`span`) with aggregated wall
+  time + call counts + attached counters, near-zero overhead when
+  disabled (see :mod:`repro.telemetry.spans`);
+* **metrics** — a global :class:`MetricsRegistry` of counters, gauges,
+  histograms, and per-step series (:func:`sample`, :func:`gauge`),
+  superseding the old ``FlopCounter``/``TrafficStats`` fragments;
+* **timelines** — per-rank phase timelines of the distributed time
+  loop, merged into comm/compute-overlap and load-imbalance views
+  (:mod:`repro.telemetry.timeline`);
+* **exporters** — :func:`dump_jsonl` trace dumps and the
+  Table-2.1-style :class:`PerfReport`.
+
+Enable via :func:`enable`, the ``REPRO_TELEMETRY=1`` environment
+variable, or the ``repro profile`` CLI.  While disabled every hook is
+a single ``is None`` test, so instrumented hot loops stay
+zero-allocation and bitwise-identical.
+"""
+
+from __future__ import annotations
+
+from .metrics import (
+    CategoryCounter,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Series,
+)
+from .report import PerfReport
+from .spans import (
+    SpanStats,
+    Tracer,
+    add,
+    annotate,
+    current_tracer,
+    enabled,
+    span,
+)
+from .spans import disable as _spans_disable
+from .spans import enable as _spans_enable
+from .timeline import PHASES, MergedTimeline, RankTimeline
+
+__all__ = [
+    "CategoryCounter",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MergedTimeline",
+    "MetricsRegistry",
+    "PHASES",
+    "PerfReport",
+    "RankTimeline",
+    "Series",
+    "SpanStats",
+    "Tracer",
+    "add",
+    "annotate",
+    "current_tracer",
+    "disable",
+    "dump_jsonl",
+    "enable",
+    "enabled",
+    "gauge",
+    "metrics",
+    "reset",
+    "sample",
+    "sample_alloc",
+    "span",
+]
+
+#: process-wide metrics registry; like the tracer it is always present
+#: but only written to while telemetry is enabled
+_registry = MetricsRegistry()
+
+
+def metrics() -> MetricsRegistry:
+    """The global metrics registry."""
+    return _registry
+
+
+def enable(*, max_events: int = 65536, fresh: bool = True) -> Tracer:
+    """Turn telemetry on (tracer + metrics sampling); returns the
+    active tracer.  ``fresh=True`` also clears the metrics registry."""
+    if fresh:
+        _registry.reset()
+    return _spans_enable(max_events=max_events, fresh=fresh)
+
+
+def disable() -> None:
+    """Turn telemetry off.  Collected data stays readable through
+    :func:`metrics` and the tracer reference you hold."""
+    _spans_disable()
+
+
+def reset() -> None:
+    """Drop all collected telemetry (tracer state is rebuilt on the
+    next :func:`enable`; the metrics registry is emptied now)."""
+    _registry.reset()
+    if enabled():
+        _spans_enable(fresh=True)
+
+
+def sample(name: str, value, step=None) -> None:
+    """Append ``value`` to the per-step series ``name``.  No-op while
+    telemetry is disabled."""
+    if enabled():
+        _registry.series(name).append(value, step=step)
+
+
+def gauge(name: str, value) -> None:
+    """Set the gauge ``name``.  No-op while telemetry is disabled."""
+    if enabled():
+        _registry.gauge(name).set(value)
+
+
+def sample_alloc(name: str = "alloc.peak_bytes", step=None) -> None:
+    """Sample the current traced-memory peak (bytes) into a series.
+
+    Only records when telemetry is enabled AND :mod:`tracemalloc` is
+    tracing — starting tracemalloc is left to the caller because it
+    slows allocation globally."""
+    if enabled():
+        import tracemalloc
+
+        if tracemalloc.is_tracing():
+            _, peak = tracemalloc.get_traced_memory()
+            _registry.series(name).append(peak, step=step)
+
+
+def dump_jsonl(path: str, *, extra_records=()) -> int:
+    """Dump the active trace (plus a metrics snapshot) as JSON lines.
+    Returns the number of lines written; 0 if telemetry is disabled."""
+    tr = current_tracer()
+    if tr is None:
+        return 0
+    metric_records = [
+        {**m, "metric_type": m["type"], "type": "metric", "name": name}
+        for name, m in _registry.as_dict().items()
+    ]
+    return tr.dump_jsonl(
+        path, extra_records=list(extra_records) + metric_records
+    )

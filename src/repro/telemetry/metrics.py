@@ -1,0 +1,216 @@
+"""Named metrics: counters, gauges, histograms, and per-step series.
+
+The :class:`MetricsRegistry` is the single sink for run-level numbers
+that are not wall time: flop counts by category, residual norms per CG
+iteration, CFL margins, allocation watermarks.  It absorbs the two
+pre-telemetry fragments — :class:`repro.util.flops.FlopCounter` is now
+a back-compat shim over :class:`CategoryCounter`, and the per-peer
+traffic matrix of :class:`repro.parallel.simcomm.TrafficStats` feeds
+the registry's report path — so "where did the work go" has one answer.
+
+Samples are gated the same way spans are: :func:`repro.telemetry.
+sample` is a no-op while telemetry is disabled, so per-step sampling
+costs one ``is None`` test on the hot path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = [
+    "CategoryCounter",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Series",
+]
+
+
+@dataclass
+class CategoryCounter:
+    """Accumulates an extensive quantity by category (the superset of
+    the old ``util.flops.FlopCounter`` surface, kept verbatim so the
+    shim is a subclass with nothing to do)."""
+
+    counts: dict = field(default_factory=dict)
+
+    def add(self, category: str, amount: int) -> None:
+        self.counts[category] = self.counts.get(category, 0) + int(amount)
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def merge(self, other: "CategoryCounter") -> None:
+        for k, v in other.counts.items():
+            self.add(k, v)
+
+
+class Counter:
+    """Monotonic scalar total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def add(self, amount) -> None:
+        self.value += amount
+
+    def as_dict(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-written value (plus the extremes seen)."""
+
+    __slots__ = ("name", "value", "min", "max", "n")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = None
+        self.min = math.inf
+        self.max = -math.inf
+        self.n = 0
+
+    def set(self, value) -> None:
+        value = float(value)
+        self.value = value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        self.n += 1
+
+    def as_dict(self) -> dict:
+        return {
+            "type": "gauge",
+            "value": self.value,
+            "min": None if self.n == 0 else self.min,
+            "max": None if self.n == 0 else self.max,
+            "n": self.n,
+        }
+
+
+class Histogram:
+    """Streaming moments + extremes (no buckets: the reports need
+    count/mean/min/max, and keeping raw samples is the Series' job)."""
+
+    __slots__ = ("name", "n", "sum", "sumsq", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.n = 0
+        self.sum = 0.0
+        self.sumsq = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value) -> None:
+        value = float(value)
+        self.n += 1
+        self.sum += value
+        self.sumsq += value * value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.n if self.n else 0.0
+
+    @property
+    def std(self) -> float:
+        if self.n < 2:
+            return 0.0
+        var = max(self.sumsq / self.n - self.mean**2, 0.0)
+        return math.sqrt(var)
+
+    def as_dict(self) -> dict:
+        return {
+            "type": "histogram",
+            "n": self.n,
+            "mean": self.mean,
+            "std": self.std,
+            "min": None if self.n == 0 else self.min,
+            "max": None if self.n == 0 else self.max,
+        }
+
+
+class Series:
+    """Ordered ``(step, value)`` samples — convergence histories,
+    per-step residual norms, allocation watermarks."""
+
+    __slots__ = ("name", "steps", "values")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.steps: list = []
+        self.values: list[float] = []
+
+    def append(self, value, step=None) -> None:
+        self.steps.append(len(self.steps) if step is None else step)
+        self.values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def as_dict(self) -> dict:
+        return {
+            "type": "series",
+            "steps": list(self.steps),
+            "values": list(self.values),
+        }
+
+
+class MetricsRegistry:
+    """Find-or-create registry of named metrics."""
+
+    def __init__(self):
+        self._metrics: dict[str, object] = {}
+
+    def _get(self, name: str, cls):
+        m = self._metrics.get(name)
+        if m is None:
+            m = self._metrics[name] = cls(name)
+        elif not isinstance(m, cls):
+            raise TypeError(
+                f"metric {name!r} is a {type(m).__name__}, "
+                f"not a {cls.__name__}"
+            )
+        return m
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def series(self, name: str) -> Series:
+        return self._get(name, Series)
+
+    def absorb_flops(self, flops: CategoryCounter, prefix: str = "flops") -> None:
+        """Fold a category counter (e.g. a solver's ``.flops``) into
+        ``<prefix>.<category>`` counters."""
+        for cat, n in flops.counts.items():
+            self.counter(f"{prefix}.{cat}").add(n)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __getitem__(self, name: str):
+        return self._metrics[name]
+
+    def reset(self) -> None:
+        self._metrics.clear()
+
+    def as_dict(self) -> dict:
+        return {
+            name: m.as_dict() for name, m in sorted(self._metrics.items())
+        }

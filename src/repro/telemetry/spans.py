@@ -1,0 +1,312 @@
+"""Hierarchical tracing spans with near-zero disabled overhead.
+
+The solvers' fused time loops are zero-allocation by contract, so the
+instrumentation has to be free when it is off: :func:`span` is gated on
+a single module-level reference (``_tracer``) and returns a shared
+no-op singleton when telemetry is disabled — one attribute load, one
+``is None`` test, no object construction.  Hot paths therefore call
+``span("name")`` with a literal (no kwargs dict is built) and attach
+counters through :func:`add`, which performs the same cheap gate.
+
+When enabled, spans nest through a stack and *aggregate*: entering the
+same name under the same parent accumulates wall seconds and a call
+count into one :class:`SpanStats` node instead of growing a list, so a
+100 000-step loop costs O(1) memory.  A bounded event stream records
+individual ``(path, start, duration)`` intervals for the JSONL trace
+export; when the cap is hit, further events are counted as dropped
+rather than silently lost.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Iterator
+
+__all__ = [
+    "SpanStats",
+    "Tracer",
+    "add",
+    "annotate",
+    "current_tracer",
+    "disable",
+    "enable",
+    "enabled",
+    "span",
+]
+
+
+class _NullSpan:
+    """Shared do-nothing span handed out while telemetry is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def add(self, counter: str, value) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class SpanStats:
+    """Aggregated statistics of one span path in the trace tree."""
+
+    __slots__ = ("name", "depth", "seconds", "count", "counters", "children")
+
+    def __init__(self, name: str, depth: int):
+        self.name = name
+        self.depth = depth
+        self.seconds = 0.0
+        self.count = 0
+        self.counters: dict[str, float] = {}
+        self.children: dict[str, "SpanStats"] = {}
+
+    def child(self, name: str) -> "SpanStats":
+        node = self.children.get(name)
+        if node is None:
+            node = self.children[name] = SpanStats(name, self.depth + 1)
+        return node
+
+    def add_counter(self, counter: str, value) -> None:
+        self.counters[counter] = self.counters.get(counter, 0) + value
+
+    def walk(self) -> Iterator["SpanStats"]:
+        yield self
+        for c in self.children.values():
+            yield from c.walk()
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "depth": self.depth,
+            "seconds": self.seconds,
+            "count": self.count,
+            "counters": dict(self.counters),
+            "children": [c.as_dict() for c in self.children.values()],
+        }
+
+
+class _Span:
+    """Active span context manager; one per ``with`` entry, bound to
+    its aggregate node."""
+
+    __slots__ = ("_tracer", "_node", "_t0")
+
+    def __init__(self, tracer: "Tracer", node: SpanStats):
+        self._tracer = tracer
+        self._node = node
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._tracer._stack.append(self._node)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        t1 = time.perf_counter()
+        dt = t1 - self._t0
+        node = self._node
+        node.seconds += dt
+        node.count += 1
+        tr = self._tracer
+        tr._stack.pop()
+        if len(tr.events) < tr.max_events:
+            tr.events.append((node, self._t0 - tr.t_origin, dt))
+        else:
+            tr.dropped_events += 1
+        return False
+
+    def add(self, counter: str, value) -> "_Span":
+        self._node.add_counter(counter, value)
+        return self
+
+
+class Tracer:
+    """Span collector: aggregate tree + bounded event stream."""
+
+    def __init__(self, max_events: int = 65536):
+        self.root = SpanStats("<root>", -1)
+        self.max_events = int(max_events)
+        self.events: list[tuple[SpanStats, float, float]] = []
+        self.dropped_events = 0
+        self.t_origin = time.perf_counter()
+        self._stack: list[SpanStats] = [self.root]
+
+    # --------------------------------------------------------- recording
+
+    def span(self, name: str, attrs: dict | None = None) -> _Span:
+        node = self._stack[-1].child(name)
+        if attrs:
+            for k, v in attrs.items():
+                node.add_counter(k, v)
+        return _Span(self, node)
+
+    def add(self, counter: str, value) -> None:
+        """Attach ``value`` to the innermost open span (or the root)."""
+        self._stack[-1].add_counter(counter, value)
+
+    def annotate(self, path: tuple[str, ...], counter: str, value) -> None:
+        """Attach a counter to the span at ``path`` (created if absent)
+        without opening it — used to attribute totals post hoc."""
+        node = self.root
+        for name in path:
+            node = node.child(name)
+        node.add_counter(counter, value)
+
+    # --------------------------------------------------------- reporting
+
+    def _path_of(self, target: SpanStats) -> str:
+        # paths are only needed at export time; recompute by walking
+        found = {}
+
+        def visit(node, prefix):
+            path = prefix + (node.name,) if node.depth >= 0 else ()
+            found[id(node)] = "/".join(path)
+            for c in node.children.values():
+                visit(c, path)
+
+        visit(self.root, ())
+        return found[id(target)]
+
+    def aggregates(self) -> list[dict]:
+        """Flattened span tree in depth-first order, root excluded."""
+        out = []
+
+        def visit(node, prefix):
+            path = prefix + (node.name,)
+            out.append(
+                {
+                    "path": "/".join(path),
+                    "name": node.name,
+                    "depth": node.depth,
+                    "seconds": node.seconds,
+                    "count": node.count,
+                    "counters": dict(node.counters),
+                }
+            )
+            for c in node.children.values():
+                visit(c, path)
+
+        for c in self.root.children.values():
+            visit(c, ())
+        return out
+
+    def dump_jsonl(self, path: str, *, extra_records=()) -> int:
+        """Write the trace as JSON lines: one ``meta`` record, one
+        ``span`` record per aggregate node, one ``event`` record per
+        recorded interval, plus any ``extra_records`` (e.g. per-rank
+        timeline spans).  Returns the number of lines written."""
+        paths = {}
+
+        def visit(node, prefix):
+            p = prefix + (node.name,)
+            paths[id(node)] = "/".join(p)
+            for c in node.children.values():
+                visit(c, p)
+
+        for c in self.root.children.values():
+            visit(c, ())
+        n = 0
+        with open(path, "w") as f:
+            f.write(
+                json.dumps(
+                    {
+                        "type": "meta",
+                        "dropped_events": self.dropped_events,
+                        "pid": os.getpid(),
+                    }
+                )
+                + "\n"
+            )
+            n += 1
+            for agg in self.aggregates():
+                f.write(json.dumps({"type": "span", **agg}) + "\n")
+                n += 1
+            for node, t0, dt in self.events:
+                f.write(
+                    json.dumps(
+                        {
+                            "type": "event",
+                            "path": paths[id(node)],
+                            "t_start": t0,
+                            "duration": dt,
+                        }
+                    )
+                    + "\n"
+                )
+                n += 1
+            for rec in extra_records:
+                f.write(json.dumps(rec) + "\n")
+                n += 1
+        return n
+
+
+#: the active tracer; ``None`` means telemetry is disabled and every
+#: hot-path call short-circuits on this single reference
+_tracer: Tracer | None = None
+
+
+def enabled() -> bool:
+    return _tracer is not None
+
+
+def enable(*, max_events: int = 65536, fresh: bool = True) -> Tracer:
+    """Turn telemetry on; returns the active tracer.  ``fresh`` starts
+    a new trace (the default); ``fresh=False`` keeps an existing one."""
+    global _tracer
+    if _tracer is None or fresh:
+        _tracer = Tracer(max_events=max_events)
+    return _tracer
+
+
+def disable() -> None:
+    global _tracer
+    _tracer = None
+
+
+def current_tracer() -> Tracer | None:
+    return _tracer
+
+
+def span(name: str, **attrs):
+    """Open a tracing span (``with span("stiffness"): ...``).
+
+    Disabled: returns the no-op singleton — call with a literal name
+    and no kwargs on hot paths so no argument dict is built."""
+    tr = _tracer
+    if tr is None:
+        return _NULL_SPAN
+    return tr.span(name, attrs or None)
+
+
+def add(counter: str, value) -> None:
+    """Accumulate ``value`` into ``counter`` on the innermost open
+    span.  No-op (one ``is None`` test) when telemetry is disabled."""
+    tr = _tracer
+    if tr is not None:
+        tr.add(counter, value)
+
+
+def annotate(path: tuple[str, ...], counter: str, value) -> None:
+    """Post-hoc counter attribution to a span path (see
+    :meth:`Tracer.annotate`); no-op when disabled."""
+    tr = _tracer
+    if tr is not None:
+        tr.annotate(path, counter, value)
+
+
+# environment opt-in: REPRO_TELEMETRY=1 enables tracing at import
+if os.environ.get("REPRO_TELEMETRY", "").strip().lower() in (
+    "1",
+    "true",
+    "on",
+    "yes",
+):
+    enable()

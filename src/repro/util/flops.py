@@ -4,26 +4,22 @@ The scalability study (Table 2.1) reports sustained flop rates; since
 we run a numpy prototype, we *count* the arithmetic the algorithm
 performs (exactly, from the operation shapes) and let the machine model
 convert counts to AlphaServer wall time.
+
+The counting machinery now lives in :class:`repro.telemetry.metrics.
+CategoryCounter`; :class:`FlopCounter` is kept as a back-compat alias
+so existing solver attributes (``solver.flops``) and call sites keep
+working unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from repro.telemetry.metrics import CategoryCounter
 
 
-@dataclass
-class FlopCounter:
-    """Accumulates floating point operations by category."""
+class FlopCounter(CategoryCounter):
+    """Accumulates floating point operations by category.
 
-    counts: dict = field(default_factory=dict)
-
-    def add(self, category: str, flops: int) -> None:
-        self.counts[category] = self.counts.get(category, 0) + int(flops)
-
-    @property
-    def total(self) -> int:
-        return sum(self.counts.values())
-
-    def merge(self, other: "FlopCounter") -> None:
-        for k, v in other.counts.items():
-            self.add(k, v)
+    Back-compat shim: identical surface (``counts`` dict, ``add``,
+    ``total``, ``merge``) inherited from
+    :class:`~repro.telemetry.metrics.CategoryCounter`.
+    """
