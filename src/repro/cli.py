@@ -103,6 +103,7 @@ def cmd_mesh(args) -> int:
 
 def cmd_forward(args) -> int:
     from repro.core import ForwardSimulation
+    from repro.solver.checkpoint import CheckpointManager
     from repro.sources import idealized_northridge, idealized_strike_slip
 
     sim = ForwardSimulation(
@@ -129,7 +130,18 @@ def cmd_forward(args) -> int:
         xs = np.linspace(0.2, 0.8, 5) * args.L
         rec = np.stack([xs, np.full_like(xs, 0.5 * args.L),
                         np.zeros_like(xs)], axis=1)
-    result = sim.run(scenario, t_end=args.t_end, receivers=rec)
+    ckpt = None
+    if args.checkpoint_dir:
+        ckpt = CheckpointManager(
+            args.checkpoint_dir, args.checkpoint_every, prefix="forward"
+        )
+    result = sim.run(
+        scenario,
+        t_end=args.t_end,
+        receivers=rec,
+        checkpoint=ckpt,
+        resume=args.resume,
+    )
     seis = result.seismograms
     pgv = np.abs(seis.data).max(axis=(1, 2))
     for i, v in enumerate(pgv):
@@ -250,6 +262,7 @@ def _profile_inverse(args, out_dir: str):
     )
     from repro.inverse.gauss_newton import gauss_newton_cg
     from repro.solver import RegularGridScalarWave
+    from repro.solver.checkpoint import CheckpointManager
     from repro.util.timing import Timer
 
     telemetry.enable(fresh=True)
@@ -274,9 +287,17 @@ def _profile_inverse(args, out_dir: str):
         shots.append(Shot(receivers=rec, data=u[:, rec], fault=fault,
                           source_params=params))
     prob = ScalarWaveInverseProblem.multi_shot(solver, grid, shots, dt, nsteps)
+    ckpt = CheckpointManager(
+        os.path.join(out_dir, "gn_ckpt"), interval=1, prefix="gn"
+    )
     with Timer() as t_inv:
         res = gauss_newton_cg(
-            prob, np.full(grid.n, 2.5e9), max_newton=3, cg_maxiter=8
+            prob,
+            np.full(grid.n, 2.5e9),
+            max_newton=3,
+            cg_maxiter=8,
+            checkpoint=ckpt,
+            resume=args.resume,
         )
     print(f"inversion: {len(shots)} shots, {res.newton_iterations} Newton / "
           f"{res.total_cg_iterations} CG iterations, "
@@ -341,6 +362,18 @@ def build_parser() -> argparse.ArgumentParser:
         help='JSON list of [x, y, z] positions (m), e.g. "[[100,100,0]]"',
     )
     pf.add_argument("--out", help="write seismograms to this .npz file")
+    pf.add_argument(
+        "--checkpoint-dir",
+        help="directory for durable run checkpoints (crash-safe restart)",
+    )
+    pf.add_argument(
+        "--checkpoint-every", type=int, default=0,
+        help="snapshot every N steps (0 = only on --resume loads)",
+    )
+    pf.add_argument(
+        "--resume", action="store_true",
+        help="restart from the latest valid checkpoint in --checkpoint-dir",
+    )
     pf.set_defaults(func=cmd_forward)
 
     pp = sub.add_parser(
@@ -357,6 +390,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="distributed worker count (both transports)")
     pp.add_argument(
         "--scenario", choices=("forward", "inverse", "all"), default="all"
+    )
+    pp.add_argument(
+        "--resume", action="store_true",
+        help="resume the inversion from its Gauss-Newton checkpoint",
     )
     pp.set_defaults(func=cmd_profile)
     return p

@@ -156,11 +156,18 @@ class ForwardSimulation:
         receivers: np.ndarray | None = None,
         snapshot_every: int = 0,
         record: str = "velocity",
+        checkpoint=None,
+        resume: bool = False,
+        health_interval: int | None = None,
     ) -> ForwardResult:
         """Simulate a rupture scenario.
 
         ``scenario`` is a :class:`FiniteFaultScenario` (or anything with
         ``.sources``); ``receivers`` are surface positions (meters).
+        ``checkpoint`` (a :class:`~repro.solver.checkpoint
+        .CheckpointManager`) enables durable snapshots; ``resume=True``
+        restarts from the latest valid one, bit-identical to an
+        uninterrupted run.
         """
         forces = SourceCollection(self.mesh, self.tree, scenario.sources)
         rec = (
@@ -172,8 +179,18 @@ class ForwardSimulation:
         if snapshot_every > 0:
             surf = self.mesh.surface_nodes(2, 0)
             snaps = SnapshotRecorder(surf, every=snapshot_every)
+        extra = {}
+        if health_interval is not None:
+            extra["health_interval"] = health_interval
         seis = self.solver.run(
-            forces, t_end, receivers=rec, snapshots=snaps, record=record
+            forces,
+            t_end,
+            receivers=rec,
+            snapshots=snaps,
+            record=record,
+            checkpoint=checkpoint,
+            resume=resume,
+            **extra,
         )
         return ForwardResult(
             seismograms=seis,

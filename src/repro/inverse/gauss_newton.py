@@ -10,12 +10,15 @@ payload of Table 3.1.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
 
 from repro.inverse.precond import LBFGSPreconditioner
+from repro.resilience import NumericalHealthError
+from repro.solver.checkpoint import CheckpointManager
 
 from repro import telemetry
 
@@ -60,6 +63,15 @@ def _pcg(
         iters += 1
         telemetry.sample("gn.cg_residual", float(np.linalg.norm(r)))
         pHp = float(p @ Hp)
+        # divergence safeguard: a NaN/Inf Hessian product (unstable
+        # incremental solve) would silently poison every later iterate;
+        # fall back to the best direction so far (or preconditioned
+        # steepest descent) and let the line search save the step
+        if not np.isfinite(pHp) or not np.all(np.isfinite(Hp)):
+            telemetry.count("resilience.gn_divergence")
+            if not d.any():
+                d = z
+            break
         if precond is not None:
             precond.stage_pair(p, Hp)
         # scale-invariant curvature guard: compare against |p||Hp|, not
@@ -99,6 +111,8 @@ def gauss_newton_cg(
     bounds_fraction: float = 0.995,
     callback: Callable | None = None,
     verbose: bool = False,
+    checkpoint: CheckpointManager | None = None,
+    resume: bool = False,
 ) -> GNResult:
     """Minimize ``problem.objective`` over the material parameters.
 
@@ -108,18 +122,48 @@ def gauss_newton_cg(
 
     The CG tolerance follows an Eisenstat-Walker-style forcing term
     ``min(cg_forcing, sqrt(|g|/|g0|))`` for superlinear convergence.
+
+    With ``checkpoint`` set, every accepted Newton iteration is durably
+    snapshotted (the iterate, the committed L-BFGS curvature pairs, and
+    the run accounting); ``resume=True`` restarts from the latest valid
+    snapshot.  The resumed run recomputes the gradient at the restored
+    iterate — ``problem.forward`` is deterministic, so the continuation
+    is bit-identical to the uninterrupted run.
     """
     m = np.asarray(m0, dtype=float).copy()
-    with telemetry.span("gn.gradient"):
-        g, J, state = problem.gradient(m)
-    g0_norm = np.linalg.norm(g)
-    total_cg = 0
-    history = [{"J": J, "gnorm": g0_norm}]
+    it0 = 0
+    ck = checkpoint.latest() if (resume and checkpoint is not None) else None
+    if ck is not None:
+        m = ck.arrays["m"].copy()
+        it0 = int(ck.meta["next_it"])
+        total_cg = int(ck.meta["total_cg"])
+        g0_norm = float(ck.meta["g0_norm"])
+        history = list(ck.meta["history"])
+        if precond is not None and "precond_s" in ck.arrays:
+            precond.pairs = deque(
+                (
+                    (
+                        ck.arrays["precond_s"][i],
+                        ck.arrays["precond_y"][i],
+                        float(ck.arrays["precond_sy"][i]),
+                    )
+                    for i in range(len(ck.arrays["precond_sy"]))
+                ),
+                maxlen=precond.memory,
+            )
+        with telemetry.span("gn.gradient"):
+            g, J, state = problem.gradient(m)
+    else:
+        with telemetry.span("gn.gradient"):
+            g, J, state = problem.gradient(m)
+        g0_norm = np.linalg.norm(g)
+        total_cg = 0
+        history = [{"J": J, "gnorm": float(g0_norm)}]
+        telemetry.sample("gn.J", J, step=0)
+        telemetry.sample("gn.gnorm", float(g0_norm), step=0)
     converged = False
-    telemetry.sample("gn.J", J, step=0)
-    telemetry.sample("gn.gnorm", float(g0_norm), step=0)
 
-    for it in range(max_newton):
+    for it in range(it0, max_newton):
         gnorm = np.linalg.norm(g)
         if gnorm <= gtol * max(g0_norm, 1e-30):
             converged = True
@@ -162,7 +206,12 @@ def gauss_newton_cg(
         with telemetry.span("gn.line_search"):
             for _ in range(armijo_max_backtracks):
                 m_try = m + step * d
-                J_try, _, state_try = problem.objective(m_try)
+                try:
+                    J_try, _, state_try = problem.objective(m_try)
+                except NumericalHealthError:
+                    # trial iterate sent the forward model unstable —
+                    # treat like a non-finite objective and backtrack
+                    J_try = np.inf
                 if np.isfinite(J_try) and J_try <= J + armijo_c * step * gTd:
                     accepted = True
                     break
@@ -174,8 +223,33 @@ def gauss_newton_cg(
             g, J, state = problem.gradient(m, state_try)
         history.append(
             {"J": J, "gnorm": float(np.linalg.norm(g)), "cg": cg_iters,
-             "step": step}
+             "step": float(step)}
         )
+        if checkpoint is not None:
+            # every accepted Newton iteration is a restart point (outer
+            # iterations are expensive; the files are small)
+            arrays = {"m": m}
+            if precond is not None and len(precond.pairs):
+                arrays["precond_s"] = np.stack(
+                    [s for s, _, _ in precond.pairs]
+                )
+                arrays["precond_y"] = np.stack(
+                    [y for _, y, _ in precond.pairs]
+                )
+                arrays["precond_sy"] = np.array(
+                    [sy for _, _, sy in precond.pairs]
+                )
+            checkpoint.save(
+                it,
+                arrays,
+                {
+                    "next_it": it + 1,
+                    "total_cg": total_cg,
+                    "g0_norm": float(g0_norm),
+                    "J": float(J),
+                    "history": history,
+                },
+            )
         telemetry.sample("gn.J", J, step=it + 1)
         telemetry.sample("gn.gnorm", history[-1]["gnorm"], step=it + 1)
         if verbose:

@@ -35,6 +35,7 @@ import numpy as np
 from repro.inverse.fault_source import FaultLineSource2D, SourceParams
 from repro.inverse.parametrization import MaterialGrid
 from repro.inverse.regularization import TotalVariation
+from repro.resilience import check_finite
 from repro.solver.scalarwave import RegularGridScalarWave, batched_forcing
 
 from repro import telemetry
@@ -282,6 +283,10 @@ class ScalarWaveInverseProblem:
                     for i, s in enumerate(self.shots)
                 ]
             _s.add("wave_solves", 1)
+        # an unstable forward march propagates NaN garbage into the
+        # misfit and every adjoint quantity; any non-finite value
+        # reaches the final state, so one check here catches it
+        check_finite(u[-1], step=self.nsteps, field="u")
         return ForwardState(m=np.asarray(m, float).copy(), mu_e=mu_e, u=u,
                             residuals=residuals)
 

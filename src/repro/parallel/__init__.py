@@ -20,7 +20,12 @@ from repro.parallel.simcomm import (
     TrafficStats,
     binomial_rounds,
 )
-from repro.parallel.transport import ProcWorld, measure_transport
+from repro.parallel.transport import (
+    ProcWorld,
+    TransportCorruption,
+    WorkerFailure,
+    measure_transport,
+)
 from repro.parallel.decomposition import DistributedElasticOperator
 from repro.parallel.dist_solver import (
     DistributedWaveSolver,
@@ -40,6 +45,8 @@ __all__ = [
     "TrafficStats",
     "binomial_rounds",
     "ProcWorld",
+    "TransportCorruption",
+    "WorkerFailure",
     "measure_transport",
     "DistributedElasticOperator",
     "DistributedWaveSolver",

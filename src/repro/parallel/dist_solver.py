@@ -52,11 +52,22 @@ import numpy as np
 from repro.fem.assembly import ElasticOperator, lumped_mass
 from repro.mesh.hexmesh import HexMesh
 from repro.parallel.decomposition import DistributedElasticOperator
-from repro.parallel.transport import attach_shared_array, create_shared_array
+from repro.parallel.transport import (
+    WorkerFailure,
+    attach_shared_array,
+    create_shared_array,
+)
+from repro.resilience import (
+    RetryPolicy,
+    check_finite,
+    should_check,
+    validate_cfl,
+)
 from repro.telemetry.timeline import MergedTimeline, RankTimeline
 from repro.physics.cfl import stable_timestep
 from repro.physics.elastic import lame_from_velocities
 from repro.physics.stacey import stacey_boundary_matrices, stacey_coefficients
+from repro.solver.checkpoint import CheckpointManager, collective_latest_step
 from repro.solver.wave_solver import DEFAULT_ABSORBING
 
 from repro import telemetry
@@ -156,6 +167,15 @@ def _rank_program(comm, payload):
     the named shared result array, each rank writing the grid points it
     is the lowest owner of.  Returns wall-time split into compute and
     communication-wait for the scaling benchmark.
+
+    Resilience hooks (all opt-in through the payload): a per-rank
+    :class:`~repro.solver.checkpoint.CheckpointManager` snapshots the
+    leapfrog restart pair every ``ckpt_every`` steps and the loop can
+    start from a ``resume_step`` instead of rest; a bound
+    :class:`~repro.resilience.FaultPlan` drives the injection hooks
+    (kill / send faults / NaN poisoning); ``health_interval`` arms the
+    NaN/Inf sentinel; heartbeats keep the master's failure detector
+    informed on long quiet stretches.
     """
     p = payload
     op = ElasticOperator(
@@ -185,7 +205,33 @@ def _rank_program(comm, payload):
     tl = RankTimeline(rank, nsteps) if p.get("timeline") else None
     dur = tl.durations if tl is not None else None
 
-    for k in range(nsteps):
+    mgr = None
+    if p.get("ckpt_dir"):
+        mgr = CheckpointManager(
+            p["ckpt_dir"],
+            p.get("ckpt_every", 0),
+            keep=p.get("ckpt_keep", 3),
+            prefix=f"rank{rank}",
+        )
+    k0 = 0
+    resume_step = p.get("resume_step")
+    if mgr is not None and resume_step is not None:
+        ck = mgr.load_step(resume_step)
+        u_prev[:] = ck.arrays["u_prev"]
+        u[:] = ck.arrays["u"]
+        k0 = int(ck.meta["next_k"])
+    plan = p.get("faults")
+    health_interval = int(p.get("health_interval", 0))
+    world = comm.world
+    if plan is not None and hasattr(world, "fault_plan"):
+        world.fault_plan = plan  # send-path faults (drop/delay/corrupt)
+
+    for k in range(k0, nsteps):
+        if plan is not None:
+            plan.on_step_begin(rank, k)
+            if hasattr(world, "fault_step"):
+                world.fault_step = k
+        comm.heartbeat(k)
         t = k * dt
         t0 = time.perf_counter()
         b_global = force_fn(t)
@@ -218,6 +264,15 @@ def _rank_program(comm, payload):
             dur[k, 2] = t3 - t2  # interior
             dur[k, 3] = t4 - t3  # recv
             dur[k, 4] = t5 - t4  # accumulate + update
+        if plan is not None:
+            plan.poison_state(rank, k, u)  # u is x^{k+1} after rotation
+        if health_interval and should_check(k, nsteps, health_interval):
+            check_finite(u, step=k, rank=rank, field="u")
+        if mgr is not None and mgr.due(k):
+            mgr.save(k, {"u_prev": u_prev, "u": u}, {"next_k": k + 1})
+
+    if plan is not None and hasattr(world, "fault_plan"):
+        world.fault_plan = None
 
     name, nnode_global = p["result"]
     shm, res = attach_shared_array(name, (nnode_global, 3))
@@ -343,6 +398,7 @@ class DistributedWaveSolver:
         vs, vp, rho = material.query(mesh.elem_centers)
         lam, mu = lame_from_velocities(vs, vp, rho)
         self._lam, self._mu = lam, mu
+        self._vp = vp
         self.dist = DistributedElasticOperator(mesh, lam, mu, parts, world)
         self.dt = dt if dt is not None else stable_timestep(
             mesh.elem_h, vp, safety=cfl_safety
@@ -379,13 +435,39 @@ class DistributedWaveSolver:
         t_end: float,
         *,
         callback: Callable[[int, float, np.ndarray], None] | None = None,
+        checkpoint_dir: str | None = None,
+        checkpoint_every: int = 0,
+        checkpoint_keep: int = 3,
+        resume: bool = False,
+        faults=None,
+        health_interval: int = 0,
+        retry: RetryPolicy | None = None,
     ) -> np.ndarray:
         """March to ``t_end``; ``force_fn(t)`` returns the *global*
         nodal force field (each rank reads its slice, as if the sources
         had been assigned to owning ranks).  Returns the final global
         displacement, gathered deterministically (each grid point from
-        its lowest co-owning rank) for verification."""
+        its lowest co-owning rank) for verification.
+
+        Resilience (all opt-in): with ``checkpoint_dir`` +
+        ``checkpoint_every`` each rank durably snapshots its leapfrog
+        restart pair (files ``rank{r}_{step}.ckpt`` in one directory);
+        ``resume=True`` restarts from the last *collective* checkpoint
+        (the newest step every rank holds a valid file for) instead of
+        rest — bit-identical to the uninterrupted run.  On the process
+        transport a :class:`~repro.parallel.transport.WorkerFailure`
+        (dead, hung, or erroring rank) triggers automatic recovery when
+        checkpointing is on: respawn the worker pool, rewind to the
+        last collective checkpoint, retry under ``retry`` (default
+        :class:`~repro.resilience.RetryPolicy`) with exponential
+        backoff.  ``faults`` takes a
+        :class:`~repro.resilience.FaultPlan` for deterministic fault
+        injection; ``health_interval`` arms the NaN/Inf sentinel (and
+        re-validates the CFL bound up front) every that many steps.
+        """
         nsteps = int(np.ceil(t_end / self.dt))
+        if health_interval:
+            validate_cfl(self.dt, self.mesh.elem_h, self._vp)
         with telemetry.span("dist.run") as _s:
             _s.add("nsteps", nsteps)
             _s.add("nranks", self.world.nranks)
@@ -396,8 +478,22 @@ class DistributedWaveSolver:
                         "transport (state lives in the workers); use a "
                         "SimWorld"
                     )
-                return self._run_proc(force_fn, nsteps)
-            return self._run_sim(force_fn, nsteps, callback)
+                return self._run_proc(
+                    force_fn, nsteps,
+                    checkpoint_dir=checkpoint_dir,
+                    checkpoint_every=checkpoint_every,
+                    checkpoint_keep=checkpoint_keep,
+                    resume=resume, faults=faults,
+                    health_interval=health_interval, retry=retry,
+                )
+            return self._run_sim(
+                force_fn, nsteps, callback,
+                checkpoint_dir=checkpoint_dir,
+                checkpoint_every=checkpoint_every,
+                checkpoint_keep=checkpoint_keep,
+                resume=resume, faults=faults,
+                health_interval=health_interval,
+            )
 
     def run_shots(self, force_fns: Sequence, t_end: float) -> np.ndarray:
         """Shot-sharded ensemble run: march ``B = len(force_fns)``
@@ -484,7 +580,10 @@ class DistributedWaveSolver:
 
     # ------------------------------------------------- in-process path
 
-    def _run_sim(self, force_fn, nsteps, callback):
+    def _run_sim(self, force_fn, nsteps, callback, *,
+                 checkpoint_dir=None, checkpoint_every=0,
+                 checkpoint_keep=3, resume=False, faults=None,
+                 health_interval=0):
         world = self.world
         dist = self.dist
         dt = self.dt
@@ -515,7 +614,28 @@ class DistributedWaveSolver:
         durs = [tl.durations for tl in tls] if tls is not None else None
         clock = time.perf_counter
 
-        for k in range(nsteps):
+        # per-rank durable checkpoints: same on-disk layout as the
+        # process path, so runs resume across transports
+        mgrs = None
+        if checkpoint_dir:
+            mgrs = [
+                CheckpointManager(
+                    checkpoint_dir, checkpoint_every,
+                    keep=checkpoint_keep, prefix=f"rank{r}",
+                )
+                for r in range(world.nranks)
+            ]
+        k0 = 0
+        if resume and checkpoint_dir:
+            step = collective_latest_step(checkpoint_dir, world.nranks)
+            if step is not None:
+                for r in range(world.nranks):
+                    ck = mgrs[r].load_step(step)
+                    u_prev[r][:] = ck.arrays["u_prev"]
+                    u[r][:] = ck.arrays["u"]
+                    k0 = int(ck.meta["next_k"])
+
+        for k in range(k0, nsteps):
             t = k * dt
             b_global = force(t)
             # phase 1: interface elements -> boundary partials complete
@@ -564,6 +684,21 @@ class DistributedWaveSolver:
                 world.stats[r].flops += 15 * len(rp.nodes)
                 if durs is not None:
                     durs[r][k, 4] = clock() - _t
+            if faults is not None:
+                # in-process: only state poisoning applies (kill/send
+                # faults exercise the worker-process machinery)
+                for r in range(world.nranks):
+                    faults.poison_state(r, k, u[r])
+            if health_interval and should_check(k, nsteps, health_interval):
+                for r in range(world.nranks):
+                    check_finite(u[r], step=k, rank=r, field="u")
+            if mgrs is not None and mgrs[0].due(k):
+                for r in range(world.nranks):
+                    mgrs[r].save(
+                        k,
+                        {"u_prev": u_prev[r], "u": u[r]},
+                        {"next_k": k + 1},
+                    )
             if callback is not None:
                 callback(k, t, u)
 
@@ -573,7 +708,9 @@ class DistributedWaveSolver:
 
     # --------------------------------------------- worker-process path
 
-    def _run_proc(self, force_fn, nsteps):
+    def _run_proc(self, force_fn, nsteps, *, checkpoint_dir=None,
+                  checkpoint_every=0, checkpoint_keep=3, resume=False,
+                  faults=None, health_interval=0, retry=None):
         world = self.world
         dist = self.dist
         mesh = self.mesh
@@ -594,37 +731,71 @@ class DistributedWaveSolver:
         m2, inv_A, prev_coef = _hoist_update_terms(
             self.m_local, self.C_local, self.dt
         )
-        shm, result = create_shared_array((mesh.nnode, 3))
         want_timeline = telemetry.enabled()
+        recoverable = bool(checkpoint_dir) and checkpoint_every > 0
+        retry = retry if retry is not None else RetryPolicy()
+        resume_step = None
+        if resume and checkpoint_dir:
+            resume_step = collective_latest_step(
+                checkpoint_dir, world.nranks
+            )
+        shm, result = create_shared_array((mesh.nnode, 3))
         try:
-            result.fill(0.0)
-            payloads = []
-            for r, rp in enumerate(dist.ranks):
-                payloads.append(
-                    {
-                        "conn": rp.local_conn,
-                        "h": mesh.elem_h[rp.elements],
-                        "lam": self._lam[rp.elements],
-                        "mu": self._mu[rp.elements],
-                        "nloc": len(rp.nodes),
-                        "n_iface": rp.n_iface_elems,
-                        "neighbors": [
-                            (o, loc) for o, (loc, _) in rp.shared_with.items()
-                        ],
-                        "m2": m2[r],
-                        "inv_A": inv_A[r],
-                        "prev_coef": prev_coef[r],
-                        "dt": self.dt,
-                        "nsteps": nsteps,
-                        "force_fn": force_fn,
-                        "gnodes": rp.nodes,
-                        "gather_nodes": rp.gather_nodes,
-                        "gather_local": rp.gather_local,
-                        "result": (shm.name, mesh.nnode),
-                        "timeline": want_timeline,
-                    }
-                )
-            timings = world.run_spmd(_rank_program, payloads)
+            attempt = 0
+            while True:
+                result.fill(0.0)
+                payloads = []
+                for r, rp in enumerate(dist.ranks):
+                    payloads.append(
+                        {
+                            "conn": rp.local_conn,
+                            "h": mesh.elem_h[rp.elements],
+                            "lam": self._lam[rp.elements],
+                            "mu": self._mu[rp.elements],
+                            "nloc": len(rp.nodes),
+                            "n_iface": rp.n_iface_elems,
+                            "neighbors": [
+                                (o, loc)
+                                for o, (loc, _) in rp.shared_with.items()
+                            ],
+                            "m2": m2[r],
+                            "inv_A": inv_A[r],
+                            "prev_coef": prev_coef[r],
+                            "dt": self.dt,
+                            "nsteps": nsteps,
+                            "force_fn": force_fn,
+                            "gnodes": rp.nodes,
+                            "gather_nodes": rp.gather_nodes,
+                            "gather_local": rp.gather_local,
+                            "result": (shm.name, mesh.nnode),
+                            "timeline": want_timeline,
+                            "ckpt_dir": checkpoint_dir,
+                            "ckpt_every": checkpoint_every,
+                            "ckpt_keep": checkpoint_keep,
+                            "resume_step": resume_step,
+                            "faults": faults,
+                            "health_interval": health_interval,
+                        }
+                    )
+                try:
+                    timings = world.run_spmd(_rank_program, payloads)
+                    break
+                except WorkerFailure:
+                    telemetry.count("resilience.worker_failures")
+                    if not recoverable or attempt >= retry.max_retries:
+                        raise
+                    attempt += 1
+                    # respawn unconditionally: even a program-level
+                    # failure leaves the channels with in-flight
+                    # residue, so the pool gets fresh ones
+                    world.respawn()
+                    # injected faults are keyed on the attempt, so a
+                    # deterministic kill does not re-fire on retry
+                    faults = faults.retried() if faults is not None else None
+                    retry.wait(attempt)
+                    resume_step = collective_latest_step(
+                        checkpoint_dir, world.nranks
+                    )
             self.last_timings = timings
             if want_timeline:
                 self.last_timeline = MergedTimeline(

@@ -26,6 +26,7 @@ Transport protocol (what a world must provide to back a ``SimComm``)::
     _barrier(rank)
     _add_flops(rank, n)
     rank_stats(rank)            -> TrafficStats
+    _heartbeat(rank, step)      (optional: liveness ping, may no-op)
 """
 
 from __future__ import annotations
@@ -182,6 +183,15 @@ class SimComm:
 
     def add_flops(self, n: int) -> None:
         self.world._add_flops(self.rank, n)
+
+    def heartbeat(self, step: int) -> None:
+        """Liveness ping for long-running rank programs: lets the
+        master's failure detector distinguish "slow" from "hung".
+        Rate-limited inside the transport (a no-op in-process), so
+        calling it every time step is fine."""
+        hb = getattr(self.world, "_heartbeat", None)
+        if hb is not None:
+            hb(self.rank, step)
 
 
 class SimWorld:

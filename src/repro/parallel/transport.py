@@ -11,7 +11,10 @@ backed by real cores and real wall time:
   semaphores.  A send copies the payload into a free slot and returns
   immediately; with the solvers' bulk-synchronous schedules at most two
   messages are ever in flight per channel, so sends never block — which
-  is exactly what lets the interior matvec overlap the ghost exchange;
+  is exactly what lets the interior matvec overlap the ghost exchange.
+  Every payload carries a CRC32 (verified on receive when
+  ``verify_crc``) so in-flight corruption surfaces as a structured
+  :class:`TransportCorruption` instead of silent garbage;
 * **programs**: any picklable ``fn(comm, payload) -> result`` submitted
   with :meth:`ProcWorld.run_spmd`; each worker executes it SPMD-style
   against its own rank's endpoint and ships the (small) result back
@@ -21,7 +24,21 @@ backed by real cores and real wall time:
 * **accounting**: every worker counts messages/bytes/flops in its own
   :class:`TrafficStats`; ``run_spmd`` merges the counts into the
   master-side ``world.stats``, so the machine model and the transport
-  equivalence tests see exactly the numbers the simulator produces.
+  equivalence tests see exactly the numbers the simulator produces;
+* **failure detection**: all channel waits and the result gather are
+  bounded.  Workers piggyback heartbeats on the result pipe
+  (:meth:`SimComm.heartbeat`, rate-limited); the master's gather polls
+  the pipes and worker liveness, so a rank that dies (pipe EOF /
+  ``is_alive`` false) or goes silent past ``hang_timeout`` raises
+  :class:`WorkerFailure` naming the ranks — the distributed solver's
+  recovery loop then tears the pool down (:meth:`ProcWorld.respawn`)
+  and rewinds to the last collective checkpoint.
+
+Teardown is guaranteed: worlds are registered with ``atexit`` and
+carry finalizers, named shared-memory segments are tracked in a
+module registry and unlinked on interpreter exit even when an
+exception skips the owner's ``finally`` — no leaked ``/dev/shm``
+segments after a crashed run (tested).
 
 The channel capacity bounds one message; the default fits the interface
 blocks of meshes up to a few hundred thousand elements — pass a larger
@@ -31,16 +48,41 @@ rather than deadlocking).
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing as mp
+import os
 import time
 import traceback
+import weakref
+import zlib
+from multiprocessing import connection as mp_connection
 from multiprocessing import shared_memory
 
 import numpy as np
 
 from repro.parallel.simcomm import SimComm, TrafficStats
 
-_HDR = 5  # per-slot header int64s: tag, ndim, shape[0..2]
+_HDR = 6  # per-slot header int64s: tag, ndim, shape[0..2], crc32
+
+
+class TransportCorruption(RuntimeError):
+    """A channel payload failed its CRC32 check on receive."""
+
+
+class WorkerFailure(RuntimeError):
+    """One or more SPMD ranks failed.
+
+    ``ranks`` lists the failed ranks; ``fatal`` is True when the worker
+    pool itself is broken (dead or hung processes — the channels may
+    hold inconsistent semaphore state) and must be respawned before the
+    next program.  Program-level exceptions (``fatal=False``) leave the
+    pool reusable.
+    """
+
+    def __init__(self, detail: str, *, ranks=(), fatal: bool = False):
+        super().__init__(detail)
+        self.ranks = list(ranks)
+        self.fatal = fatal
 
 
 class _Channel:
@@ -49,11 +91,13 @@ class _Channel:
     keeps its own slot cursor, and strict FIFO alternation keeps the
     cursors consistent without any shared index."""
 
-    def __init__(self, ctx, slot_bytes: int, timeout: float):
+    def __init__(self, ctx, slot_bytes: int, timeout: float,
+                 verify_crc: bool = True):
         if slot_bytes % 8:
             raise ValueError("slot_bytes must be a multiple of 8")
         self.slot_bytes = int(slot_bytes)
         self.timeout = float(timeout)
+        self.verify_crc = bool(verify_crc)
         self._hdr = ctx.RawArray("q", 2 * _HDR)
         self._buf = ctx.RawArray("b", 2 * self.slot_bytes)
         self._free = ctx.Semaphore(2)
@@ -62,9 +106,12 @@ class _Channel:
         self._w = 0
         self._r = 0
 
-    def send(self, data: np.ndarray, tag: int) -> int:
+    def send(self, data: np.ndarray, tag: int, *,
+             corrupt: bool = False) -> int:
         """Copy ``data`` into the next free slot; returns payload
-        bytes.  Blocks only when two messages are already in flight."""
+        bytes.  Blocks only when two messages are already in flight.
+        ``corrupt=True`` (fault injection only) flips a payload byte
+        *after* the CRC is computed, so the receiver's check fires."""
         data = np.ascontiguousarray(data, dtype=np.float64)
         if data.ndim > 3:
             raise ValueError("channel messages are at most 3-D")
@@ -93,13 +140,18 @@ class _Channel:
             offset=self._w * self.slot_bytes,
         )
         dst[:] = data.reshape(-1)
+        self._hdr[base + 5] = (
+            zlib.crc32(dst) & 0xFFFFFFFF if self.verify_crc else 0
+        )
+        if corrupt and data.size:
+            dst.view(np.uint8)[0] ^= 0xFF
         self._avail.release()
         self._w ^= 1
         return data.nbytes
 
     def recv(self, tag: int, out: np.ndarray | None = None) -> np.ndarray:
-        """Next message (FIFO); verified against the expected ``tag``;
-        written into ``out`` when given."""
+        """Next message (FIFO); verified against the expected ``tag``
+        and its CRC32; written into ``out`` when given."""
         if not self._avail.acquire(timeout=self.timeout):
             raise RuntimeError(
                 f"recv timed out after {self.timeout}s (no message — "
@@ -120,6 +172,14 @@ class _Channel:
             raise RuntimeError(
                 f"message tag mismatch: expected {tag}, got {got_tag}"
             )
+        if self.verify_crc:
+            want = int(self._hdr[base + 5]) & 0xFFFFFFFF
+            got = zlib.crc32(src) & 0xFFFFFFFF
+            if got != want:
+                raise TransportCorruption(
+                    f"payload CRC mismatch on tag {tag}: expected "
+                    f"{want:#010x}, got {got:#010x}"
+                )
         if out is not None:
             np.copyto(out.reshape(-1), src)
             result = out
@@ -133,15 +193,24 @@ class _Channel:
 class ProcTransport:
     """Worker-side transport endpoint: implements the ``SimComm``
     world protocol for exactly one rank, against shared-memory
-    channels."""
+    channels.  Also carries the worker's heartbeat (piggybacked on the
+    result pipe, rate-limited) and any bound fault-injection plan."""
 
-    def __init__(self, rank, nranks, send_chs, recv_chs, barrier):
+    def __init__(self, rank, nranks, send_chs, recv_chs, barrier,
+                 conn=None, heartbeat_interval: float = 0.5):
         self.rank = int(rank)
         self.nranks = int(nranks)
         self._send_chs = send_chs  # dest rank -> _Channel
         self._recv_chs = recv_chs  # source rank -> _Channel
         self._barrier_obj = barrier
         self._stats = TrafficStats()
+        self._conn = conn
+        self._hb_interval = float(heartbeat_interval)
+        self._hb_last = 0.0
+        #: fault-injection context, bound per program by the rank
+        #: program (see repro.resilience.faults.FaultPlan)
+        self.fault_plan = None
+        self.fault_step = -1
 
     def _check(self, rank: int) -> None:
         if rank != self.rank:
@@ -152,7 +221,15 @@ class ProcTransport:
 
     def _send_from(self, rank, data, dest, tag) -> None:
         self._check(rank)
-        nbytes = self._send_chs[dest].send(data, tag)
+        corrupt = False
+        if self.fault_plan is not None:
+            action = self.fault_plan.send_action(
+                self.rank, self.fault_step, dest
+            )
+            if action == "drop":
+                return  # swallowed: the peer's recv will time out
+            corrupt = action == "corrupt"
+        nbytes = self._send_chs[dest].send(data, tag, corrupt=corrupt)
         self._stats.record_send(self.rank, dest, nbytes)
 
     def _recv_at(self, rank, source, tag, out=None) -> np.ndarray:
@@ -167,15 +244,34 @@ class ProcTransport:
         self._check(rank)
         self._stats.flops += int(n)
 
+    def _heartbeat(self, rank, step) -> None:
+        """Rate-limited liveness ping to the master over the result
+        pipe (at most one every ``heartbeat_interval`` seconds — the
+        per-step cost is one clock read)."""
+        self._check(rank)
+        if self._conn is None:
+            return
+        now = time.perf_counter()
+        if now - self._hb_last >= self._hb_interval:
+            self._hb_last = now
+            try:
+                self._conn.send(("hb", int(step)))
+            except (BrokenPipeError, OSError):
+                pass
+
     def rank_stats(self, rank) -> TrafficStats:
         self._check(rank)
         return self._stats
 
 
-def _worker_main(rank, nranks, conn, send_chs, recv_chs, barrier):
+def _worker_main(rank, nranks, conn, send_chs, recv_chs, barrier,
+                 heartbeat_interval):
     """Persistent worker loop: execute submitted programs until told
     to stop, shipping results and traffic counts back over the pipe."""
-    transport = ProcTransport(rank, nranks, send_chs, recv_chs, barrier)
+    transport = ProcTransport(
+        rank, nranks, send_chs, recv_chs, barrier, conn,
+        heartbeat_interval,
+    )
     comm = SimComm(transport, rank)
     while True:
         try:
@@ -198,10 +294,28 @@ def _worker_main(rank, nranks, conn, send_chs, recv_chs, barrier):
             )
             transport._stats = TrafficStats()
         except BaseException:
+            transport._stats = TrafficStats()
+            transport.fault_plan = None
             try:
                 conn.send(("err", traceback.format_exc()))
             except Exception:
                 return
+
+
+#: live worlds, closed at interpreter exit even when the owner's
+#: ``close``/``finally`` never ran (crash paths)
+_LIVE_WORLDS: "weakref.WeakSet" = weakref.WeakSet()
+
+
+def _close_live_worlds() -> None:  # pragma: no cover - exit hook
+    for world in list(_LIVE_WORLDS):
+        try:
+            world.close(force=True)
+        except Exception:
+            pass
+
+
+atexit.register(_close_live_worlds)
 
 
 class ProcWorld:
@@ -212,6 +326,13 @@ class ProcWorld:
     ``total_stats``), and adds :meth:`run_spmd` for executing rank
     programs on real cores.  Workers are daemonic: they die with the
     master even if :meth:`close` is never reached.
+
+    Failure handling: ``hang_timeout`` (seconds, None = disabled)
+    bounds how long a rank may go without any pipe activity
+    (result/error/heartbeat) before the gather declares it hung; dead
+    workers are detected within one poll tick either way.  Both paths
+    tear the pool down and raise :class:`WorkerFailure` with
+    ``fatal=True`` — call :meth:`respawn` before reuse.
     """
 
     def __init__(
@@ -221,13 +342,23 @@ class ProcWorld:
         slot_bytes: int = 1 << 18,
         timeout: float = 120.0,
         start_method: str | None = None,
+        hang_timeout: float | None = None,
+        heartbeat_interval: float = 0.5,
+        verify_crc: bool = True,
+        poll_tick: float = 0.05,
     ):
         if nranks < 1:
             raise ValueError("need at least one rank")
         self.nranks = int(nranks)
         self.slot_bytes = int(slot_bytes)
         self.timeout = float(timeout)
+        self.hang_timeout = hang_timeout
+        self.heartbeat_interval = float(heartbeat_interval)
+        self.verify_crc = bool(verify_crc)
+        self.poll_tick = float(poll_tick)
         self.stats = [TrafficStats() for _ in range(nranks)]
+        #: recovery accounting: pool respawns over this world's lifetime
+        self.respawns = 0
         # start the resource tracker *before* forking workers so every
         # worker shares it: attach-time registrations then deduplicate
         # against the creator's and the creator's unlink retires the
@@ -239,9 +370,19 @@ class ProcWorld:
             resource_tracker.ensure_running()
         except Exception:
             pass
-        ctx = mp.get_context(start_method)
+        self._ctx = mp.get_context(start_method)
+        self._spawn()
+        _LIVE_WORLDS.add(self)
+
+    def _spawn(self) -> None:
+        """Build fresh channels, barrier, pipes, and worker processes
+        (initial start and every :meth:`respawn`)."""
+        nranks = self.nranks
+        ctx = self._ctx
         self._channels = {
-            (i, j): _Channel(ctx, self.slot_bytes, self.timeout)
+            (i, j): _Channel(
+                ctx, self.slot_bytes, self.timeout, self.verify_crc
+            )
             for i in range(nranks)
             for j in range(nranks)
             if i != j
@@ -259,7 +400,8 @@ class ProcWorld:
             }
             p = ctx.Process(
                 target=_worker_main,
-                args=(r, nranks, child, send_chs, recv_chs, barrier),
+                args=(r, nranks, child, send_chs, recv_chs, barrier,
+                      self.heartbeat_interval),
                 daemon=True,
             )
             p.start()
@@ -273,8 +415,14 @@ class ProcWorld:
     def run_spmd(self, program, payloads: list) -> list:
         """Run ``program(comm, payload)`` on every rank concurrently;
         returns the per-rank results.  Worker traffic counts are merged
-        into ``self.stats``.  A failure on any rank raises with that
-        rank's traceback."""
+        into ``self.stats``.
+
+        Failures raise :class:`WorkerFailure`: program-level exceptions
+        carry the failing ranks' tracebacks (``fatal=False``, pool
+        still usable); dead or hung workers tear the whole pool down
+        first (``fatal=True`` — :meth:`respawn` before the next
+        program).
+        """
         if self._closed:
             raise RuntimeError("world is closed")
         if len(payloads) != self.nranks:
@@ -283,27 +431,88 @@ class ProcWorld:
             pipe.send(("run", program, payloads[r]))
         results = [None] * self.nranks
         errors = []
-        for r, pipe in enumerate(self._pipes):
+        pending = set(range(self.nranks))
+        now = time.perf_counter()
+        last_seen = {r: now for r in pending}
+        dead: dict[int, str] = {}
+        while pending:
+            by_pipe = {self._pipes[r]: r for r in pending}
             try:
-                msg = pipe.recv()
-            except EOFError:
-                errors.append((r, "worker died (pipe closed)"))
-                continue
-            if msg[0] == "ok":
-                results[r] = msg[1]
-                st = self.stats[r]
-                m, b, f = msg[2]
-                st.messages_sent += m
-                st.bytes_sent += b
-                st.flops += f
-                if len(msg) > 3:
-                    st.merge_peers_payload(msg[3])
-            else:
-                errors.append((r, msg[1]))
+                ready = mp_connection.wait(
+                    list(by_pipe), timeout=self.poll_tick
+                )
+            except OSError:
+                ready = []
+            for pipe in ready:
+                r = by_pipe[pipe]
+                try:
+                    msg = pipe.recv()
+                except (EOFError, OSError):
+                    # reap briefly so the report can name the exit code
+                    # (e.g. 173 for an injected kill)
+                    self._procs[r].join(timeout=0.5)
+                    code = self._procs[r].exitcode
+                    dead[r] = (
+                        f"worker died (exit code {code})"
+                        if code is not None
+                        else "worker died (pipe closed)"
+                    )
+                    pending.discard(r)
+                    continue
+                last_seen[r] = time.perf_counter()
+                if msg[0] == "hb":
+                    continue
+                pending.discard(r)
+                if msg[0] == "ok":
+                    results[r] = msg[1]
+                    st = self.stats[r]
+                    m, b, f = msg[2]
+                    st.messages_sent += m
+                    st.bytes_sent += b
+                    st.flops += f
+                    if len(msg) > 3:
+                        st.merge_peers_payload(msg[3])
+                else:
+                    errors.append((r, msg[1]))
+            now = time.perf_counter()
+            for r in list(pending):
+                if not self._procs[r].is_alive():
+                    code = self._procs[r].exitcode
+                    dead[r] = f"worker died (exit code {code})"
+                    pending.discard(r)
+                elif (
+                    self.hang_timeout is not None
+                    and now - last_seen[r] > self.hang_timeout
+                ):
+                    dead[r] = (
+                        f"worker hung (no pipe activity for "
+                        f"{self.hang_timeout}s)"
+                    )
+                    pending.discard(r)
+            if dead:
+                # the pool is broken: peers of a dead rank are blocked
+                # in channel waits — tear everything down now instead
+                # of letting each of them ride out its own timeout
+                self.close(force=True)
+                detail = "\n".join(
+                    f"-- rank {r} --\n{why}" for r, why in sorted(dead.items())
+                )
+                if errors:
+                    detail += "\n" + "\n".join(
+                        f"-- rank {r} --\n{tb}" for r, tb in errors
+                    )
+                raise WorkerFailure(
+                    f"{len(dead)} rank(s) failed in SPMD program "
+                    f"(pool torn down, respawn before reuse):\n{detail}",
+                    ranks=sorted(set(dead) | {r for r, _ in errors}),
+                    fatal=True,
+                )
         if errors:
             detail = "\n".join(f"-- rank {r} --\n{tb}" for r, tb in errors)
-            raise RuntimeError(
-                f"{len(errors)} rank(s) failed in SPMD program:\n{detail}"
+            raise WorkerFailure(
+                f"{len(errors)} rank(s) failed in SPMD program:\n{detail}",
+                ranks=[r for r, _ in errors],
+                fatal=False,
             )
         return results
 
@@ -329,22 +538,41 @@ class ProcWorld:
 
     # --------------------------------------------------------- lifetime
 
-    def close(self) -> None:
-        """Stop the workers; idempotent."""
+    def respawn(self) -> None:
+        """Tear down the worker pool (terminating stuck processes) and
+        start a fresh one — fresh channels too, since a killed worker
+        can leave the old semaphores unbalanced.  Traffic stats and the
+        master-side world object survive; in-flight program state does
+        not (that is what checkpoints are for)."""
+        self.close(force=True)
+        self._spawn()
+        self.respawns += 1
+
+    def close(self, force: bool = False) -> None:
+        """Stop the workers; idempotent.  ``force`` terminates without
+        the cooperative stop handshake (used on broken pools, where
+        workers may be blocked in channel waits)."""
         if self._closed:
             return
         self._closed = True
-        for pipe in self._pipes:
-            try:
-                pipe.send(("stop",))
-            except (BrokenPipeError, OSError):
-                pass
+        if not force:
+            for pipe in self._pipes:
+                try:
+                    pipe.send(("stop",))
+                except (BrokenPipeError, OSError):
+                    pass
         for p in self._procs:
-            p.join(timeout=5.0)
+            p.join(timeout=0.2 if force else 5.0)
             if p.is_alive():
                 p.terminate()
+        for p in self._procs:
+            if p.is_alive():
+                p.join(timeout=2.0)
         for pipe in self._pipes:
-            pipe.close()
+            try:
+                pipe.close()
+            except OSError:
+                pass
 
     def __enter__(self) -> "ProcWorld":
         return self
@@ -355,7 +583,7 @@ class ProcWorld:
 
     def __del__(self):  # pragma: no cover - best effort
         try:
-            self.close()
+            self.close(force=True)
         except Exception:
             pass
 
@@ -367,15 +595,54 @@ def _allreduce_program(comm, payload):
 
 # ----------------------------------------------- shared bulk state
 
+#: master-side registry of created-but-not-yet-unlinked segments; the
+#: exit hook retires anything a crash path left behind, so a failed
+#: ``run_spmd``/gather cannot leak ``/dev/shm`` segments
+_SHM_REGISTRY: dict[str, shared_memory.SharedMemory] = {}
+
+
+def _cleanup_shared_segments() -> None:  # pragma: no cover - exit hook
+    for name, shm in list(_SHM_REGISTRY.items()):
+        _SHM_REGISTRY.pop(name, None)
+        try:
+            shm.close()
+        except Exception:
+            pass
+        try:
+            shm.unlink()
+        except Exception:
+            pass
+
+
+atexit.register(_cleanup_shared_segments)
+
 
 def create_shared_array(shape, dtype=np.float64):
     """Create a named shared-memory array; returns ``(shm, view)``.
-    The caller owns the block: close **and unlink** it when done (and
-    drop the view first — an exported buffer cannot be closed)."""
+    The caller owns the block: release it with
+    :func:`release_shared_array` (or close **and unlink** it manually —
+    and drop the view first, an exported buffer cannot be closed).
+    Segments still registered at interpreter exit are unlinked by the
+    module's ``atexit`` hook, so exception paths cannot leak them."""
     size = int(np.prod(shape)) * np.dtype(dtype).itemsize
     shm = shared_memory.SharedMemory(create=True, size=max(size, 1))
+    _SHM_REGISTRY[shm.name] = shm
     view = np.frombuffer(shm.buf, dtype=dtype)[: int(np.prod(shape))]
     return shm, view.reshape(shape)
+
+
+def release_shared_array(shm) -> None:
+    """Close and unlink a segment from :func:`create_shared_array`
+    (idempotent; drop any exported views first)."""
+    _SHM_REGISTRY.pop(shm.name, None)
+    try:
+        shm.close()
+    except Exception:
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
 
 
 def attach_shared_array(name, shape, dtype=np.float64):

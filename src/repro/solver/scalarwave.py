@@ -36,6 +36,8 @@ import numpy as np
 from repro.backend import get_backend
 from repro.backend.sparse_ops import ScatterPlan
 from repro.fem.scalar_element import scalar_stiffness_reference
+from repro.resilience import check_finite, should_check
+from repro.solver.checkpoint import CheckpointManager
 
 from repro import telemetry
 
@@ -443,6 +445,10 @@ class RegularGridScalarWave:
         x1: np.ndarray | None = None,
         alpha: np.ndarray | None = None,
         batch: int | None = None,
+        checkpoint: CheckpointManager | None = None,
+        resume: bool = False,
+        faults=None,
+        health_interval: int = 0,
     ) -> np.ndarray | None:
         """Run the leapfrog ``A+ x^{k+1} = (2M - dt^2 K) x^k - A- x^{k-1}
         + f^k``; ``forcing(k)`` supplies ``f^k`` (may be None).
@@ -463,6 +469,14 @@ class RegularGridScalarWave:
         serial march (same summation orders throughout; see
         :func:`batched_forcing` for stacking per-scenario forcings).
         ``batch`` may also be inferred from a 2D ``x0``/``x1``.
+
+        Resilience (all opt-in, default off — the inverse sweeps call
+        march thousands of times): ``checkpoint`` durably snapshots the
+        restart pair (and the stored-history prefix) on the manager's
+        cadence; ``resume=True`` restarts from the latest valid
+        snapshot, bit-identical to the uninterrupted march.
+        ``health_interval`` arms the NaN/Inf sentinel; ``faults`` takes
+        a :class:`~repro.resilience.FaultPlan` (state poisoning).
         """
         if batch is None and x0 is not None and np.ndim(x0) == 2:
             batch = np.shape(x0)[1]
@@ -497,17 +511,28 @@ class RegularGridScalarWave:
         r = np.empty(shape)
         Kx = np.empty(shape)
         hist = np.zeros((nsteps + 1, *shape)) if store else None
-        if store:
-            hist[0] = x_prev
-            hist[1] = x
-        if on_step is not None:
-            on_step(0, x_prev)
-            on_step(1, x)
+        k0 = 1
+        if resume and checkpoint is not None:
+            ck = checkpoint.latest()
+            if ck is not None:
+                x_prev[:] = ck.arrays["x_prev"]
+                x[:] = ck.arrays["x"]
+                k0 = int(ck.meta["next_k"])
+                if store and "hist" in ck.arrays:
+                    prefix = ck.arrays["hist"]
+                    hist[: prefix.shape[0]] = prefix
+        if k0 == 1:  # fresh start (not a mid-run resume)
+            if store:
+                hist[0] = x_prev
+                hist[1] = x
+            if on_step is not None:
+                on_step(0, x_prev)
+                on_step(1, x)
         # one span per march (not per step: the inverse sweeps call
         # march thousands of times); flops attributed in aggregate from
         # the kernel's own per-apply count
         with telemetry.span("scalar.march") as _m:
-            for k in range(1, nsteps):
+            for k in range(k0, nsteps):
                 f = forcing(k)
                 self.apply_K(mu, x, out=Kx)
                 np.multiply(m2, x, out=r)
@@ -523,7 +548,17 @@ class RegularGridScalarWave:
                 if on_step is not None:
                     on_step(k + 1, x_next)
                 x_prev, x, x_next = x, x_next, x_prev
-            napply = max(nsteps - 1, 0)
+                # x is now x^{k+1}, x_prev is x^k — the restart pair
+                if faults is not None:
+                    faults.poison_state(0, k, x)
+                if health_interval and should_check(k, nsteps, health_interval):
+                    check_finite(x, step=k, field="x")
+                if checkpoint is not None and checkpoint.due(k):
+                    arrays = {"x_prev": x_prev, "x": x}
+                    if store:
+                        arrays["hist"] = hist[: k + 2]
+                    checkpoint.save(k, arrays, {"next_k": k + 1})
+            napply = max(nsteps - k0, 0)
             _m.add("steps", napply)
             _m.add(
                 "flops",

@@ -35,6 +35,13 @@ from repro.octree.linear_octree import LinearOctree
 from repro.physics.cfl import stable_timestep
 from repro.physics.elastic import lame_from_velocities
 from repro.physics.stacey import stacey_boundary_matrices, stacey_coefficients
+from repro.resilience import (
+    DEFAULT_HEALTH_INTERVAL,
+    check_finite,
+    should_check,
+    validate_cfl,
+)
+from repro.solver.checkpoint import CheckpointManager
 from repro.util.flops import FlopCounter
 
 from repro import telemetry
@@ -189,11 +196,29 @@ class ElasticWaveSolver:
         snapshots: SnapshotRecorder | None = None,
         record: str = "velocity",
         callback: Callable[[int, float, np.ndarray], None] | None = None,
+        checkpoint: CheckpointManager | None = None,
+        resume: bool = False,
+        faults=None,
+        health_interval: int = DEFAULT_HEALTH_INTERVAL,
     ) -> Seismograms | None:
         """March the wave equation from rest to ``t_end``.
 
         ``forces`` is either a callable ``forces(t, out) -> (nnode, 3)``
         or a :class:`repro.sources.fault.SourceCollection`.
+
+        Resilience: a :class:`~repro.solver.checkpoint.CheckpointManager`
+        durably snapshots the leapfrog restart pair (plus the cached
+        Rayleigh matvec and the recorded seismogram prefix) every
+        ``checkpoint.interval`` steps; ``resume=True`` restarts from the
+        latest valid snapshot instead of rest, reproducing the
+        uninterrupted run bit for bit (the update depends only on the
+        two previous states and the deterministic forcing).  Snapshot
+        recorders only see steps after the resume point.
+        ``health_interval`` arms the NaN/Inf sentinel (every that many
+        steps plus the final one) and re-validates the CFL bound up
+        front; 0 disables both.  ``faults`` takes a
+        :class:`~repro.resilience.FaultPlan` (state poisoning only in
+        serial runs).
         """
         dt = self.dt
         dt2 = dt * dt
@@ -225,6 +250,21 @@ class ElasticWaveSolver:
         kb_u_prev = np.zeros((nnode, 3))  # beta K u^{k-1}, cached
         kb_u = np.empty((nnode, 3))
 
+        if health_interval:
+            validate_cfl(dt, self.mesh.elem_h, self.vp)
+        k0 = 0
+        if resume and checkpoint is not None:
+            ck = checkpoint.latest()
+            if ck is not None:
+                u_prev[:] = ck.arrays["u_prev"]
+                u[:] = ck.arrays["u"]
+                if "kb_u_prev" in ck.arrays:
+                    kb_u_prev[:] = ck.arrays["kb_u_prev"]
+                if data is not None and "rec_data" in ck.arrays:
+                    prefix = ck.arrays["rec_data"]
+                    data[:, :, : prefix.shape[2]] = prefix
+                k0 = int(ck.meta["next_k"])
+
         # telemetry: one is-None gate per step region when disabled
         # (literal span names, no kwargs — no hot-loop allocations)
         tel_on = telemetry.enabled()
@@ -239,7 +279,7 @@ class ElasticWaveSolver:
         with telemetry.span("elastic.run") as _run:
             _run.add("nsteps", nsteps)
             _run.add("nnode", nnode)
-            for k in range(nsteps):
+            for k in range(k0, nsteps):
                 t = k * dt
                 with telemetry.span("stiffness") as _s:
                     self.K.matvec(u, out=Ku)
@@ -299,6 +339,18 @@ class ElasticWaveSolver:
                 if callback is not None:
                     callback(k, t, u)
                 u_prev, u, u_next = u, u_next, u_prev
+                # u is now x^{k+1}, u_prev is x^k — the restart pair
+                if faults is not None:
+                    faults.poison_state(0, k, u)
+                if health_interval and should_check(k, nsteps, health_interval):
+                    check_finite(u, step=k, field="u")
+                if checkpoint is not None and checkpoint.due(k):
+                    arrays = {"u_prev": u_prev, "u": u}
+                    if self.Kb is not None:
+                        arrays["kb_u_prev"] = kb_u_prev
+                    if data is not None:
+                        arrays["rec_data"] = data[:, :, : k + 1]
+                    checkpoint.save(k, arrays, {"next_k": k + 1})
 
         if receivers is None:
             return None

@@ -59,6 +59,7 @@ __all__ = [
     "Tracer",
     "add",
     "annotate",
+    "count",
     "current_tracer",
     "disable",
     "dump_jsonl",
@@ -115,6 +116,14 @@ def gauge(name: str, value) -> None:
     """Set the gauge ``name``.  No-op while telemetry is disabled."""
     if enabled():
         _registry.gauge(name).set(value)
+
+
+def count(name: str, n: int = 1) -> None:
+    """Bump the counter ``name`` by ``n``.  No-op while telemetry is
+    disabled (used by the resilience layer to tally checkpoint,
+    fault, retry, and health-guard events)."""
+    if enabled():
+        _registry.counter(name).add(n)
 
 
 def sample_alloc(name: str = "alloc.peak_bytes", step=None) -> None:
