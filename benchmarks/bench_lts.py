@@ -1,0 +1,159 @@
+"""Wall-clock payoff of clustered local time stepping.
+
+Marches the canonical LTS test problem — a soft sedimentary basin
+(v = 1) over a stiff bedrock layer (v = 8) filling the bottom eighth of
+a 2D grid — with the global-dt leapfrog and with the clustered LTS
+schedule, at several grid sizes.  The stiff layer pins the global dt
+eight times below what the basin needs, so rate binning puts ~7/8 of
+the elements in coarse clusters; the benchmark reports the theoretical
+(work-ratio) speedup next to the achieved wall-clock one, the cluster
+histogram, and the relative error of the clustered solution against
+the global-dt reference.
+
+Also asserts the ``lts=off`` contract: on a uniform material the plan
+is trivial and the clustered entry point falls back to the global loop
+bit for bit.
+
+Usage::
+
+    python benchmarks/bench_lts.py --json BENCH_lts.json
+    python benchmarks/bench_lts.py --smoke     # CI-sized
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+import numpy as np
+
+from _common import export_telemetry, timed
+
+from repro.solver import RegularGridScalarWave
+
+STIFF_FRAC = 0.875  # bedrock fills the bottom (1 - STIFF_FRAC) of the box
+
+
+def _make_forcing(solver, src, dt, t0, sig):
+    """Point Ricker wavelet, dt^2-prescaled per the march convention."""
+    buf = np.zeros(solver.nnode)
+
+    def forcing(k):
+        t = k * dt
+        a = (t - t0) / sig
+        w = (1.0 - 2.0 * a * a) * np.exp(-a * a)
+        if abs(w) < 1e-12:
+            return None
+        buf[src] = dt * dt * w
+        return buf
+
+    return forcing
+
+
+def two_layer_case(shape, nsteps, repeat):
+    solver = RegularGridScalarWave(shape, 1.0, rho=1.0)
+    centers = solver.elem_centers()
+    v = np.where(centers[:, 1] > STIFF_FRAC * shape[1], 8.0, 1.0)
+    mu = v * v  # rho = 1: mu = rho v^2
+    dt = solver.stable_dt(mu, safety=0.5)
+    plan = solver.lts_plan(mu)
+    src = solver.node_index((shape[0] // 2, shape[1] // 4))
+    # wavelet wide enough that even the coarsest cluster resolves it
+    forcing = _make_forcing(
+        solver, src, dt, t0=0.3 * nsteps * dt, sig=0.08 * nsteps * dt
+    )
+
+    def run_global():
+        return solver.march(mu, forcing, nsteps, dt, store=False)
+
+    def run_lts():
+        return solver.march(mu, forcing, nsteps, dt, store=False, lts=True)
+
+    ref = run_global()  # warm caches / hoisted coefficients
+    out = run_lts()  # warm the per-level kernels
+    rel_err = float(
+        np.linalg.norm(out[1] - ref[1]) / np.linalg.norm(ref[1])
+    )
+    # interleaved reps, median ratio: frequency drift cancels within a
+    # rep and the median rejects descheduled outliers
+    pairs = []
+    for _ in range(repeat):
+        _, t_g = timed("bench.lts_global", run_global)
+        _, t_l = timed("bench.lts_clustered", run_lts)
+        pairs.append((t_g, t_l))
+    pairs.sort(key=lambda p: p[0] / p[1])
+    t_g, t_l = pairs[len(pairs) // 2]
+    return {
+        "shape": list(shape),
+        "nelem": solver.nelem,
+        "nnode": solver.nnode,
+        "nsteps": nsteps,
+        "dt": float(dt),
+        "histogram": {str(k): v for k, v in plan.histogram().items()},
+        "theoretical_speedup": float(plan.theoretical_speedup()),
+        "global_s": t_g,
+        "lts_s": t_l,
+        "achieved_speedup": t_g / t_l,
+        "rel_err": rel_err,
+    }
+
+
+def lts_off_bitwise(shape, nsteps) -> bool:
+    """Uniform material -> trivial plan -> the lts entry point must
+    reproduce the global loop bit for bit."""
+    solver = RegularGridScalarWave(shape, 1.0, rho=1.0)
+    mu = np.full(solver.nelem, 4.0)
+    dt = solver.stable_dt(mu, safety=0.5)
+    src = solver.node_index((shape[0] // 2, shape[1] // 4))
+    f = _make_forcing(solver, src, dt, 0.3 * nsteps * dt, 0.08 * nsteps * dt)
+    a = solver.march(mu, f, nsteps, dt, store=False)
+    b = solver.march(mu, f, nsteps, dt, store=False, lts=True)
+    return bool(np.array_equal(a, b))
+
+
+def main(argv=None) -> dict:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--json", default="BENCH_lts.json")
+    ap.add_argument("--repeat", type=int, default=5,
+                    help="timing repetitions (median of ratios)")
+    ap.add_argument("--smoke", action="store_true",
+                    help="CI-sized problems")
+    args = ap.parse_args(argv)
+
+    if args.smoke:
+        sizes = [((128, 64), 256)]
+        repeat = 1
+    else:
+        sizes = [((256, 128), 1024), ((384, 192), 1024), ((512, 256), 1024)]
+        repeat = args.repeat
+
+    results = {
+        "smoke": bool(args.smoke),
+        "stiff_frac": STIFF_FRAC,
+        "cases": [
+            two_layer_case(shape, nsteps, repeat)
+            for shape, nsteps in sizes
+        ],
+        "lts_off_bitwise": lts_off_bitwise(*sizes[0]),
+    }
+
+    for c in results["cases"]:
+        print(
+            f"  {c['shape'][0]:>4}x{c['shape'][1]:<4} "
+            f"global {c['global_s'] * 1e3:8.1f} ms  "
+            f"lts {c['lts_s'] * 1e3:8.1f} ms  "
+            f"achieved {c['achieved_speedup']:.2f}x "
+            f"(theoretical {c['theoretical_speedup']:.2f}x)  "
+            f"rel-err {c['rel_err']:.2e}"
+        )
+    print(f"  lts=off bitwise fallback: {results['lts_off_bitwise']}")
+
+    with open(args.json, "w") as f:
+        json.dump(results, f, indent=2)
+    print(f"wrote {args.json}")
+    export_telemetry("bench_lts")
+    return results
+
+
+if __name__ == "__main__":
+    main()

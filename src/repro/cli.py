@@ -115,10 +115,18 @@ def cmd_forward(args) -> int:
         max_level=args.max_level,
         h_min=args.h_min,
         damping_ratio=args.damping,
+        lts=args.lts,
     )
     summary = sim.mesh_summary()
     print(f"mesh: {summary['elements']:,} elements, "
           f"{summary['grid_points']:,} points, dt = {summary['dt_s']:.4f} s")
+    if args.lts:
+        plan = sim.solver.lts_plan(max_rate=args.lts)
+        hist = ", ".join(
+            f"{r}x: {n}" for r, n in sorted(plan.histogram().items())
+        )
+        print(f"lts: clusters {hist}, theoretical speedup "
+              f"{plan.theoretical_speedup():.2f}x")
     scenario = (
         idealized_northridge(L=args.L)
         if args.scenario == "northridge"
@@ -176,9 +184,17 @@ class _ProfilePointForce:
 def _profile_forward(args, out_dir: str) -> list:
     """Serial elastic baseline + distributed runs on both transports,
     all under one trace.  Writes ``forward.trace.jsonl`` (including the
-    per-rank timeline spans) and one PerfReport per transport."""
+    per-rank timeline spans) and one PerfReport per transport.
+
+    With ``--lts`` the material becomes a soft-basin-over-stiff-bedrock
+    layering (a uniform one yields a single rate cluster), the serial
+    solve runs twice — global dt, then clustered — and every report
+    gains an LTS section with theoretical vs achieved speedup; the
+    distributed runs execute clustered too, so the rank-pair traffic
+    shows the reduced interface-handoff cadence.
+    """
     from repro import telemetry
-    from repro.materials import HomogeneousMaterial
+    from repro.materials import HomogeneousMaterial, LayeredMaterial
     from repro.mesh import extract_mesh, rcb_partition
     from repro.octree import build_adaptive_octree
     from repro.parallel import DistributedWaveSolver, ProcWorld, SimWorld
@@ -186,7 +202,16 @@ def _profile_forward(args, out_dir: str) -> list:
     from repro.util.timing import Timer
 
     n = args.size
-    mat = HomogeneousMaterial(vs=1000.0, vp=1800.0, rho=2000.0)
+    lts = getattr(args, "lts", 0)
+    if lts:
+        # soft basin over stiff bedrock: the wave-speed contrast is
+        # what spreads elements across step-rate clusters
+        mat = LayeredMaterial(
+            [875.0], vs=[200.0, 1600.0], vp=[400.0, 3200.0],
+            rho=[2000.0, 2000.0],
+        )
+    else:
+        mat = HomogeneousMaterial(vs=1000.0, vp=1800.0, rho=2000.0)
     tree = build_adaptive_octree(
         lambda c, s: np.full(len(c), 1.0 / n), max_level=int(np.log2(n))
     )
@@ -202,6 +227,19 @@ def _profile_forward(args, out_dir: str) -> list:
     print(f"forward: {mesh.nelem} elements, {args.steps} steps, "
           f"serial {t_serial.seconds:.3f}s")
 
+    lts_info = None
+    if lts:
+        with Timer() as t_lts:
+            serial.run(force, t_end, lts=lts)
+        plan = serial.lts_plan(max_rate=lts)
+        lts_info = plan.as_dict()
+        lts_info["achieved_speedup"] = (
+            t_serial.seconds / t_lts.seconds if t_lts.seconds > 0 else None
+        )
+        print(f"forward lts: {t_lts.seconds:.3f}s "
+              f"(theoretical {plan.theoretical_speedup():.2f}x, "
+              f"achieved {t_serial.seconds / t_lts.seconds:.2f}x)")
+
     nw = args.workers
     parts = (
         rcb_partition(mesh.elem_centers, nw)
@@ -209,12 +247,16 @@ def _profile_forward(args, out_dir: str) -> list:
         else np.zeros(mesh.nelem, dtype=np.int64)
     )
     runs = []
-    solver = DistributedWaveSolver(mesh, mat, parts, SimWorld(nw), dt=dt)
+    solver = DistributedWaveSolver(
+        mesh, mat, parts, SimWorld(nw), dt=dt, lts=lts
+    )
     with Timer() as t_run:
         solver.run(force, t_end)
     runs.append(("sim", solver.world, solver.last_timeline, t_run.seconds))
     with ProcWorld(nw) as world:
-        solver = DistributedWaveSolver(mesh, mat, parts, world, dt=dt)
+        solver = DistributedWaveSolver(
+            mesh, mat, parts, world, dt=dt, lts=lts
+        )
         with Timer() as t_run:
             solver.run(force, t_end)
         runs.append(("proc", world, solver.last_timeline, t_run.seconds))
@@ -231,6 +273,7 @@ def _profile_forward(args, out_dir: str) -> list:
             baseline_seconds=t_serial.seconds,
             parallel_seconds=seconds,
             nranks=nw,
+            lts=lts_info,
             title=f"forward elastic, {name} transport, P={nw}",
         )
         reports.append(report)
@@ -374,6 +417,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", action="store_true",
         help="restart from the latest valid checkpoint in --checkpoint-dir",
     )
+    pf.add_argument(
+        "--lts", type=int, nargs="?", const=32, default=0,
+        metavar="MAX_RATE",
+        help="clustered local time stepping (optional coarsest-to-"
+             "finest step-rate cap, default 32 when given bare)",
+    )
     pf.set_defaults(func=cmd_forward)
 
     pp = sub.add_parser(
@@ -394,6 +443,13 @@ def build_parser() -> argparse.ArgumentParser:
     pp.add_argument(
         "--resume", action="store_true",
         help="resume the inversion from its Gauss-Newton checkpoint",
+    )
+    pp.add_argument(
+        "--lts", type=int, nargs="?", const=32, default=0,
+        metavar="MAX_RATE",
+        help="profile the forward runs with clustered local time "
+             "stepping on a layered (soft-over-stiff) material, "
+             "reporting theoretical vs achieved speedup",
     )
     pp.set_defaults(func=cmd_profile)
     return p

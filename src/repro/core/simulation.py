@@ -66,6 +66,10 @@ class ForwardSimulation:
         Rayleigh attenuation target and fit band.
     stacey_c1:
         Full Stacey condition (vs. Lysmer-only damping).
+    lts:
+        Clustered local time stepping (``0``/``False`` = off, ``True``
+        = on with the default rate cap, an int = the cap); see
+        :mod:`repro.solver.lts`.
 
     Examples
     --------
@@ -91,6 +95,7 @@ class ForwardSimulation:
         damping_band: tuple[float, float] | None = None,
         stacey_c1: bool = True,
         cfl_safety: float = 0.5,
+        lts: int | bool = 0,
     ):
         self.material = material
         self.L = float(L)
@@ -120,6 +125,7 @@ class ForwardSimulation:
             stacey_c1=stacey_c1,
             cfl_safety=cfl_safety,
             constraints=self.constraints,
+            lts=lts,
         )
 
     @property
@@ -159,6 +165,7 @@ class ForwardSimulation:
         checkpoint=None,
         resume: bool = False,
         health_interval: int | None = None,
+        lts: int | bool | None = None,
     ) -> ForwardResult:
         """Simulate a rupture scenario.
 
@@ -182,6 +189,8 @@ class ForwardSimulation:
         extra = {}
         if health_interval is not None:
             extra["health_interval"] = health_interval
+        if lts is not None:
+            extra["lts"] = lts
         seis = self.solver.run(
             forces,
             t_end,

@@ -64,10 +64,16 @@ from repro.resilience import (
     validate_cfl,
 )
 from repro.telemetry.timeline import MergedTimeline, RankTimeline
-from repro.physics.cfl import stable_timestep
+from repro.physics.cfl import elem_stable_dt, stable_timestep
 from repro.physics.elastic import lame_from_velocities
 from repro.physics.stacey import stacey_boundary_matrices, stacey_coefficients
 from repro.solver.checkpoint import CheckpointManager, collective_latest_step
+from repro.solver.lts import (
+    DEFAULT_MAX_RATE,
+    bin_rates,
+    build_lts_plan,
+    smooth_rates,
+)
 from repro.solver.wave_solver import DEFAULT_ABSORBING
 
 from repro import telemetry
@@ -155,6 +161,259 @@ def _local_update(rhs, t_r, u, u_prev, u_next, m2, inv_A, prev_coef, b, dt2):
         np.multiply(b, dt2, out=t_r)
         np.add(rhs, t_r, out=rhs)
     np.multiply(rhs, inv_A, out=u_next)
+
+
+def _lts_rank_levels(conn, h, lam, mu, nloc, plan, m, C, dt, r_int, n_iface):
+    """Per-level execution state for one rank's clustered-leapfrog loop
+    (see :mod:`repro.solver.lts` for the schedule contract).  Shared by
+    the in-process and worker-process paths so the per-rank arithmetic
+    is bit-identical across transports.
+
+    The level whose rate equals the common interface rate ``r_int``
+    carries the rank's interface elements (they are clamped to exactly
+    that rate, and the partition orders them first, so they lead the
+    level's ascending own-element list) and gets a split operator for
+    the interface/interior comm-overlap phases; every other level is
+    purely rank-local.
+    """
+    levels = []
+    for lv in plan.levels:
+        e, own = lv.elems, lv.own_nodes
+        dtc = lv.rate * dt
+        is_iface = r_int > 0 and lv.rate == r_int and n_iface > 0
+        op = ElasticOperator(
+            conn[e], h[e], lam[e], mu[e], nloc,
+            split_elems=n_iface if is_iface else None,
+        )
+        mo, Co = m[own], C[own]
+        n_own, n_int = len(own), len(lv.interp_nodes)
+        levels.append(
+            {
+                "rate": lv.rate,
+                "dtc2": dtc * dtc,
+                "own": own,
+                "interp": lv.interp_nodes,
+                "op": op,
+                "is_iface": is_iface,
+                "m2": 2.0 * mo,
+                "inv_A": 1.0 / (mo + 0.5 * dtc * Co),
+                "prev_coef": -mo + 0.5 * dtc * Co,
+                "r": np.empty((n_own, 3)),
+                "tmp": np.empty((n_own, 3)),
+                "u_own": np.empty((n_own, 3)),
+                "up_own": np.empty((n_own, 3)),
+                "sv": np.empty((n_int, 3)),
+                "iv": np.empty((n_int, 3)),
+                "fired": 0,
+            }
+        )
+    return levels
+
+
+def _lts_interp_in(lev, u, u_prev, j):
+    """Overwrite the level's coarser (rate ``2r``) neighbor points with
+    their time-interpolated values for the matvecs at fine index ``j``;
+    returns the saved exact values (or None) for :func:`_lts_interp_out`.
+    """
+    interp = lev["interp"]
+    if not len(interp):
+        return None
+    sv, iv = lev["sv"], lev["iv"]
+    np.take(u, interp, axis=0, out=sv)
+    np.take(u_prev, interp, axis=0, out=iv)
+    if j % (2 * lev["rate"]):  # theta = 1/2 midpoint, else theta = 0
+        np.add(iv, sv, out=iv)
+        np.multiply(iv, 0.5, out=iv)
+    u[interp] = iv
+    return sv
+
+
+def _lts_interp_out(lev, u, sv):
+    if sv is not None:
+        u[lev["interp"]] = sv
+
+
+def _lts_level_update(lev, u, u_prev, Ku, b):
+    """Advance one level's own grid points by its cluster step ``dtc``
+    (in-place central difference, same op sequence as
+    :func:`_local_update` with the level-local coefficients)."""
+    own = lev["own"]
+    r, t_r = lev["r"], lev["tmp"]
+    np.take(Ku, own, axis=0, out=r)
+    np.multiply(r, -lev["dtc2"], out=r)
+    uo = lev["u_own"]
+    np.take(u, own, axis=0, out=uo)
+    np.multiply(lev["m2"], uo, out=t_r)
+    np.add(r, t_r, out=r)
+    upo = lev["up_own"]
+    np.take(u_prev, own, axis=0, out=upo)
+    np.multiply(lev["prev_coef"], upo, out=t_r)
+    np.add(r, t_r, out=r)
+    if b is not None:
+        np.take(b, own, axis=0, out=t_r)
+        np.multiply(t_r, lev["dtc2"], out=t_r)
+        np.add(r, t_r, out=r)
+    np.multiply(r, lev["inv_A"], out=r)
+    u_prev[own] = uo
+    u[own] = r
+
+
+def _rank_program_lts(comm, payload):
+    """SPMD rank program for the clustered-LTS loop: one rank's full
+    multirate time march inside a persistent worker.
+
+    The loop runs over fine step indices at the rank's own finest rate;
+    every level fires when due (coarsest first).  Only the common
+    interface-rate level exchanges boundary partial sums — every other
+    fire is purely local — so ranks synchronize ``r_int`` times less
+    often than the global-dt program.  Checkpoints, NaN poisoning, and
+    health checks happen only at full sync boundaries (multiples of the
+    global coarsest rate ``r_sync``, identical on every rank), which
+    keeps the collective-restart recovery machinery working unchanged.
+    """
+    p = payload
+    dt, nsteps = p["dt"], p["nsteps"]
+    r_int, r_sync = p["r_int"], p["r_sync"]
+    plan = build_lts_plan(p["conn"], p["nloc"], dt=dt, rates=p["rates"])
+    levels = _lts_rank_levels(
+        p["conn"], p["h"], p["lam"], p["mu"], p["nloc"], plan,
+        p["m"], p["C"], dt, r_int, p["n_iface"],
+    )
+    neighbors = p["neighbors"]
+    force_fn = _make_force_caller(p["force_fn"], p["result"][1])
+    gnodes = p["gnodes"]
+    rank = comm.rank
+    nloc = p["nloc"]
+    u_prev = np.zeros((nloc, 3))
+    u = np.zeros((nloc, 3))
+    Ku = np.empty((nloc, 3))
+    rbuf = {o: np.empty((len(loc), 3)) for o, loc in neighbors}
+    t_compute = 0.0
+    t_wait = 0.0
+    clock = time.perf_counter
+    tl = RankTimeline(rank, nsteps) if p.get("timeline") else None
+    dur = tl.durations if tl is not None else None
+
+    mgr = None
+    ckpt_every = int(p.get("ckpt_every", 0) or 0)
+    if p.get("ckpt_dir"):
+        mgr = CheckpointManager(
+            p["ckpt_dir"], ckpt_every,
+            keep=p.get("ckpt_keep", 3), prefix=f"rank{rank}",
+        )
+    k0 = 0
+    resume_step = p.get("resume_step")
+    if mgr is not None and resume_step is not None:
+        ck = mgr.load_step(resume_step)
+        u_prev[:] = ck.arrays["u_prev"]
+        u[:] = ck.arrays["u"]
+        k0 = int(ck.meta["next_k"])
+        if k0 % r_sync:
+            raise ValueError(
+                f"LTS resume index {k0} is not a sync boundary "
+                f"(sync rate {r_sync})"
+            )
+    last_sync_saved = k0
+    fplan = p.get("faults")
+    health_interval = int(p.get("health_interval", 0))
+    world = comm.world
+    if fplan is not None and hasattr(world, "fault_plan"):
+        world.fault_plan = fplan  # send-path faults (drop/delay/corrupt)
+
+    r_min = plan.min_rate
+    for j in range(k0, nsteps, r_min):
+        if fplan is not None:
+            fplan.on_step_begin(rank, j)
+            if hasattr(world, "fault_step"):
+                world.fault_step = j
+        comm.heartbeat(j)
+        t = j * dt
+        tA = clock()
+        wait_j = 0.0
+        iface_fired = False
+        b_global = force_fn(t)
+        b = b_global[gnodes] if b_global is not None else None
+        for lev in levels:
+            if j % lev["rate"]:
+                continue
+            lev["fired"] += 1
+            op = lev["op"]
+            if lev["is_iface"]:
+                iface_fired = True
+                sv = _lts_interp_in(lev, u, u_prev, j)
+                op.matvec_interface(u, Ku)
+                comm.add_flops(op.flops_per_matvec)
+                t1 = clock()
+                for o, loc in neighbors:
+                    comm.Send(Ku[loc], o, tag=rank)
+                t2 = clock()
+                op.matvec_interior_acc(u, Ku)
+                _lts_interp_out(lev, u, sv)
+                t3 = clock()
+                for o, loc in neighbors:
+                    comm.Recv(o, tag=o, out=rbuf[o])
+                t4 = clock()
+                for o, loc in neighbors:
+                    Ku[loc] += rbuf[o]
+                    comm.add_flops(3 * len(loc))
+                _lts_level_update(lev, u, u_prev, Ku, b)
+                wait_j += (t2 - t1) + (t4 - t3)
+                if dur is not None:
+                    dur[j, 0] = t1 - tA  # up to interface matvec
+                    dur[j, 1] = t2 - t1  # send
+                    dur[j, 2] = t3 - t2  # interior
+                    dur[j, 3] = t4 - t3  # recv
+            else:
+                sv = _lts_interp_in(lev, u, u_prev, j)
+                op.matvec(u, out=Ku)
+                comm.add_flops(op.flops_per_matvec)
+                _lts_interp_out(lev, u, sv)
+                _lts_level_update(lev, u, u_prev, Ku, b)
+            comm.add_flops(15 * len(lev["own"]))
+        tB = clock()
+        t_wait += wait_j
+        t_compute += (tB - tA) - wait_j
+        if dur is not None:
+            if iface_fired:
+                dur[j, 4] = (tB - tA) - dur[j, :4].sum()
+            else:
+                dur[j, 0] = tB - tA
+        s = j + r_min
+        if s % r_sync == 0:  # sync: every node holds u(s * dt)
+            if fplan is not None:
+                fplan.poison_state(rank, s - 1, u)
+            if health_interval and should_check(
+                s - 1, nsteps, health_interval
+            ):
+                check_finite(u, step=s - 1, rank=rank, field="u")
+            if (
+                mgr is not None
+                and ckpt_every > 0
+                and s // ckpt_every > last_sync_saved // ckpt_every
+            ):
+                mgr.save(
+                    s - 1, {"u_prev": u_prev, "u": u},
+                    {"next_k": s, "lts_rate": r_sync},
+                )
+                last_sync_saved = s
+
+    if fplan is not None and hasattr(world, "fault_plan"):
+        world.fault_plan = None
+
+    name, nnode_global = p["result"]
+    shm, res = attach_shared_array(name, (nnode_global, 3))
+    res[p["gather_nodes"]] = u[p["gather_local"]]
+    del res  # drop the exported view before closing the mapping
+    shm.close()
+    out = {
+        "t_compute": t_compute,
+        "t_wait": t_wait,
+        "nsteps": nsteps,
+        "lts_fired": {lev["rate"]: lev["fired"] for lev in levels},
+    }
+    if tl is not None:
+        out["timeline"] = tl.to_payload()
+    return out
 
 
 def _rank_program(comm, payload):
@@ -385,6 +644,7 @@ class DistributedWaveSolver:
         absorbing: Sequence[tuple[int, int]] = DEFAULT_ABSORBING,
         dt: float | None = None,
         cfl_safety: float = 0.5,
+        lts: int | bool = 0,
     ):
         if len(np.unique(mesh.elem_level)) > 1:
             raise ValueError(
@@ -425,9 +685,69 @@ class DistributedWaveSolver:
             # account the setup exchange (mass + damping on interfaces)
             for o, (loc, _) in rp.shared_with.items():
                 world.stats[r].record_send(r, o, 8 * 4 * len(loc))
+        #: default LTS setting for :meth:`run` (``0``/``False`` = off,
+        #: ``True`` = on with the default rate cap, an int = the cap)
+        self.lts = lts
+        self._lts_cache: tuple | None = None
         #: merged per-rank timeline of the most recent :meth:`run`,
         #: populated when telemetry is enabled at run time
         self.last_timeline: MergedTimeline | None = None
+
+    def _lts_setup(self, max_rate: int) -> dict:
+        """Global clustered-LTS plan for the partitioned mesh.
+
+        Element rates are binned and 2-to-1 smoothed **globally**, then
+        every *boundary* element (one touching a grid point shared
+        between ranks) is clamped down to the single interface rate
+        ``r_int = min(boundary rates)`` and the rates re-smoothed.  The
+        clamp only lowers rates, and afterwards every node adjacent to
+        a boundary element has rate at least ``r_int / 2``, so the
+        re-smoothing never drags a boundary element below ``r_int`` —
+        every shared grid point ends up at exactly ``r_int`` on every
+        rank.  That gives one common exchange cadence: ranks trade
+        interface partial sums only when the ``r_int`` level fires,
+        i.e. ``r_int`` times fewer handoffs than the global-dt loop.
+
+        Per-rank plans are built from each rank's slice of the global
+        rates; they agree across ranks because a shared node's adjacent
+        elements are all boundary (rate ``r_int``) and interior nodes
+        see only rank-local elements.
+        """
+        cached = self._lts_cache
+        if cached is not None and cached[0] == max_rate:
+            return cached[1]
+        mesh = self.mesh
+        elem_dt = elem_stable_dt(mesh.elem_h, self._vp, safety=1.0)
+        rates = smooth_rates(
+            mesh.conn, bin_rates(elem_dt, max_rate=max_rate), mesh.nnode
+        )
+        shared = np.zeros(mesh.nnode, dtype=bool)
+        for rp in self.dist.ranks:
+            for _, gids in rp.shared_with.values():
+                shared[gids] = True
+        boundary = shared[mesh.conn].any(axis=1)
+        r_int = 0
+        if boundary.any():
+            r_int = int(rates[boundary].min())
+            rates[boundary] = r_int
+            rates = smooth_rates(mesh.conn, rates, mesh.nnode)
+            assert int(rates[boundary].min()) == r_int
+        plans = [
+            build_lts_plan(
+                rp.local_conn, len(rp.nodes), dt=self.dt,
+                rates=rates[rp.elements],
+            )
+            for rp in self.dist.ranks
+        ]
+        ctx = {
+            "rates": rates,
+            "r_int": r_int,
+            "r_sync": max(p.max_rate for p in plans),
+            "plans": plans,
+            "trivial": bool(np.all(rates == 1)),
+        }
+        self._lts_cache = (max_rate, ctx)
+        return ctx
 
     def run(
         self,
@@ -442,6 +762,7 @@ class DistributedWaveSolver:
         faults=None,
         health_interval: int = 0,
         retry: RetryPolicy | None = None,
+        lts: int | bool | None = None,
     ) -> np.ndarray:
         """March to ``t_end``; ``force_fn(t)`` returns the *global*
         nodal force field (each rank reads its slice, as if the sources
@@ -464,13 +785,33 @@ class DistributedWaveSolver:
         :class:`~repro.resilience.FaultPlan` for deterministic fault
         injection; ``health_interval`` arms the NaN/Inf sentinel (and
         re-validates the CFL bound up front) every that many steps.
+
+        ``lts`` (default: the constructor setting) turns on clustered
+        local time stepping — see :meth:`_lts_setup`.  Ranks then
+        exchange interface partial sums only at the common interface
+        rate and synchronize (checkpoint / poison / health-check) only
+        at multiples of the coarsest rate; ``nsteps`` is rounded up to
+        the next sync boundary.  ``lts=off`` runs the global-dt loop
+        bit-identically to before; a clustered run returns the state at
+        the (possibly later) rounded end time.
         """
         nsteps = int(np.ceil(t_end / self.dt))
         if health_interval:
             validate_cfl(self.dt, self.mesh.elem_h, self._vp)
+        lts = self.lts if lts is None else lts
+        ctx = None
+        if lts:
+            cap = DEFAULT_MAX_RATE if lts is True else int(lts)
+            c = self._lts_setup(cap)
+            if not c["trivial"]:
+                ctx = c
+                nsteps = -(-nsteps // c["r_sync"]) * c["r_sync"]
         with telemetry.span("dist.run") as _s:
             _s.add("nsteps", nsteps)
             _s.add("nranks", self.world.nranks)
+            if ctx is not None:
+                _s.add("lts_r_int", ctx["r_int"])
+                _s.add("lts_r_sync", ctx["r_sync"])
             if hasattr(self.world, "run_spmd"):
                 if callback is not None:
                     raise ValueError(
@@ -485,6 +826,21 @@ class DistributedWaveSolver:
                     checkpoint_keep=checkpoint_keep,
                     resume=resume, faults=faults,
                     health_interval=health_interval, retry=retry,
+                    lts_ctx=ctx,
+                )
+            if ctx is not None:
+                if callback is not None:
+                    raise ValueError(
+                        "callback is not supported with lts (nodes are "
+                        "only globally consistent at sync boundaries)"
+                    )
+                return self._run_sim_lts(
+                    force_fn, nsteps, ctx,
+                    checkpoint_dir=checkpoint_dir,
+                    checkpoint_every=checkpoint_every,
+                    checkpoint_keep=checkpoint_keep,
+                    resume=resume, faults=faults,
+                    health_interval=health_interval,
                 )
             return self._run_sim(
                 force_fn, nsteps, callback,
@@ -706,11 +1062,202 @@ class DistributedWaveSolver:
             self.last_timeline = MergedTimeline(tls)
         return dist.gather_field(u)
 
+    def _run_sim_lts(self, force_fn, nsteps, ctx, *,
+                     checkpoint_dir=None, checkpoint_every=0,
+                     checkpoint_keep=3, resume=False, faults=None,
+                     health_interval=0):
+        """In-process clustered-LTS march: the identical per-rank
+        arithmetic as :func:`_rank_program_lts`, executed one rank at a
+        time with the interface exchange staged across ranks.
+
+        Per fine index, each rank first fires its levels **coarser**
+        than the interface rate, then — when the interface level is due
+        — all ranks run the four exchange phases (interface matvec /
+        send / interior / receive-accumulate-update) in the same global
+        order as the global-dt path, then each rank fires its **finer**
+        levels.  That reproduces every rank's coarsest-first firing
+        order exactly, so trajectories are bit-identical to the process
+        transport.
+        """
+        world = self.world
+        dist = self.dist
+        mesh = self.mesh
+        dt = self.dt
+        ranks = dist.ranks
+        plans = ctx["plans"]
+        r_int, r_sync = ctx["r_int"], ctx["r_sync"]
+        levels = [
+            _lts_rank_levels(
+                rp.local_conn, mesh.elem_h[rp.elements],
+                self._lam[rp.elements], self._mu[rp.elements],
+                len(rp.nodes), plans[r],
+                self.m_local[r], self.C_local[r],
+                dt, r_int, rp.n_iface_elems,
+            )
+            for r, rp in enumerate(ranks)
+        ]
+        # each rank's levels split around its interface-rate level (the
+        # coarsest-first order is: pre -> interface -> post)
+        pre = [[lv for lv in ls if lv["rate"] > r_int] for ls in levels]
+        ifc = [
+            next((lv for lv in ls if lv["rate"] == r_int), None)
+            for ls in levels
+        ] if r_int else [None] * len(levels)
+        post = [[lv for lv in ls if lv["rate"] < r_int] for ls in levels]
+        u_prev = [np.zeros((len(rp.nodes), 3)) for rp in ranks]
+        u = [np.zeros((len(rp.nodes), 3)) for rp in ranks]
+        Ku = [np.empty((len(rp.nodes), 3)) for rp in ranks]
+        comms = world.comms()
+        force = _make_force_caller(force_fn, mesh.nnode)
+        tls = (
+            [RankTimeline(r, nsteps) for r in range(world.nranks)]
+            if telemetry.enabled()
+            else None
+        )
+        durs = [tl.durations for tl in tls] if tls is not None else None
+        clock = time.perf_counter
+
+        mgrs = None
+        if checkpoint_dir:
+            mgrs = [
+                CheckpointManager(
+                    checkpoint_dir, checkpoint_every,
+                    keep=checkpoint_keep, prefix=f"rank{r}",
+                )
+                for r in range(world.nranks)
+            ]
+        k0 = 0
+        if resume and checkpoint_dir:
+            step = collective_latest_step(checkpoint_dir, world.nranks)
+            if step is not None:
+                for r in range(world.nranks):
+                    ck = mgrs[r].load_step(step)
+                    u_prev[r][:] = ck.arrays["u_prev"]
+                    u[r][:] = ck.arrays["u"]
+                    k0 = int(ck.meta["next_k"])
+                if k0 % r_sync:
+                    raise ValueError(
+                        f"LTS resume index {k0} is not a sync boundary "
+                        f"(sync rate {r_sync})"
+                    )
+        last_sync_saved = k0
+
+        def fire_local(r, lev, j, b):
+            if durs is not None:
+                _t = clock()
+            lev["fired"] += 1
+            sv = _lts_interp_in(lev, u[r], u_prev[r], j)
+            lev["op"].matvec(u[r], out=Ku[r])
+            world.stats[r].flops += lev["op"].flops_per_matvec
+            _lts_interp_out(lev, u[r], sv)
+            _lts_level_update(lev, u[r], u_prev[r], Ku[r], b)
+            world.stats[r].flops += 15 * len(lev["own"])
+            if durs is not None:
+                durs[r][j, 0] += clock() - _t
+
+        r_min = min(p.min_rate for p in plans)
+        for j in range(k0, nsteps, r_min):
+            t = j * dt
+            b_global = force(t)
+            bs = [
+                b_global[rp.nodes] if b_global is not None else None
+                for rp in ranks
+            ]
+            # coarser-than-interface clusters: purely rank-local
+            for r in range(len(ranks)):
+                for lev in pre[r]:
+                    if j % lev["rate"] == 0:
+                        fire_local(r, lev, j, bs[r])
+            if r_int and j % r_int == 0:
+                # interface-rate clusters fire in the same four global
+                # phases as the global-dt loop (exchange overlap)
+                sv = [None] * len(ranks)
+                for r, rp in enumerate(ranks):
+                    lev = ifc[r]
+                    if lev is None:
+                        continue
+                    if not lev["is_iface"]:  # neighborless rank
+                        fire_local(r, lev, j, bs[r])
+                        continue
+                    lev["fired"] += 1
+                    if durs is not None:
+                        _t = clock()
+                    sv[r] = _lts_interp_in(lev, u[r], u_prev[r], j)
+                    lev["op"].matvec_interface(u[r], Ku[r])
+                    world.stats[r].flops += lev["op"].flops_per_matvec
+                    if durs is not None:
+                        durs[r][j, 0] += clock() - _t
+                for r, rp in enumerate(ranks):
+                    if ifc[r] is None or not ifc[r]["is_iface"]:
+                        continue
+                    if durs is not None:
+                        _t = clock()
+                    for o, (loc, _) in rp.shared_with.items():
+                        comms[r].Send(Ku[r][loc], o, tag=r)
+                    if durs is not None:
+                        durs[r][j, 1] = clock() - _t
+                for r, rp in enumerate(ranks):
+                    lev = ifc[r]
+                    if lev is None or not lev["is_iface"]:
+                        continue
+                    if durs is not None:
+                        _t = clock()
+                    lev["op"].matvec_interior_acc(u[r], Ku[r])
+                    _lts_interp_out(lev, u[r], sv[r])
+                    if durs is not None:
+                        durs[r][j, 2] = clock() - _t
+                for r, rp in enumerate(ranks):
+                    lev = ifc[r]
+                    if lev is None or not lev["is_iface"]:
+                        continue
+                    if durs is not None:
+                        _t = clock()
+                    for o, (loc, _) in rp.shared_with.items():
+                        Ku[r][loc] += comms[r].Recv(o, tag=o)
+                        world.stats[r].flops += 3 * len(loc)
+                    _lts_level_update(lev, u[r], u_prev[r], Ku[r], bs[r])
+                    world.stats[r].flops += 15 * len(lev["own"])
+                    if durs is not None:
+                        durs[r][j, 3] = clock() - _t
+            # finer-than-interface clusters: purely rank-local
+            for r in range(len(ranks)):
+                for lev in post[r]:
+                    if j % lev["rate"] == 0:
+                        fire_local(r, lev, j, bs[r])
+            s = j + r_min
+            if s % r_sync == 0:  # sync: every node holds u(s * dt)
+                if faults is not None:
+                    for r in range(world.nranks):
+                        faults.poison_state(r, s - 1, u[r])
+                if health_interval and should_check(
+                    s - 1, nsteps, health_interval
+                ):
+                    for r in range(world.nranks):
+                        check_finite(u[r], step=s - 1, rank=r, field="u")
+                if (
+                    mgrs is not None
+                    and checkpoint_every > 0
+                    and s // checkpoint_every
+                    > last_sync_saved // checkpoint_every
+                ):
+                    for r in range(world.nranks):
+                        mgrs[r].save(
+                            s - 1,
+                            {"u_prev": u_prev[r], "u": u[r]},
+                            {"next_k": s, "lts_rate": r_sync},
+                        )
+                    last_sync_saved = s
+
+        if tls is not None:
+            self.last_timeline = MergedTimeline(tls)
+        return dist.gather_field(u)
+
     # --------------------------------------------- worker-process path
 
     def _run_proc(self, force_fn, nsteps, *, checkpoint_dir=None,
                   checkpoint_every=0, checkpoint_keep=3, resume=False,
-                  faults=None, health_interval=0, retry=None):
+                  faults=None, health_interval=0, retry=None,
+                  lts_ctx=None):
         world = self.world
         dist = self.dist
         mesh = self.mesh
@@ -746,39 +1293,53 @@ class DistributedWaveSolver:
                 result.fill(0.0)
                 payloads = []
                 for r, rp in enumerate(dist.ranks):
-                    payloads.append(
-                        {
-                            "conn": rp.local_conn,
-                            "h": mesh.elem_h[rp.elements],
-                            "lam": self._lam[rp.elements],
-                            "mu": self._mu[rp.elements],
-                            "nloc": len(rp.nodes),
-                            "n_iface": rp.n_iface_elems,
-                            "neighbors": [
-                                (o, loc)
-                                for o, (loc, _) in rp.shared_with.items()
-                            ],
-                            "m2": m2[r],
-                            "inv_A": inv_A[r],
-                            "prev_coef": prev_coef[r],
-                            "dt": self.dt,
-                            "nsteps": nsteps,
-                            "force_fn": force_fn,
-                            "gnodes": rp.nodes,
-                            "gather_nodes": rp.gather_nodes,
-                            "gather_local": rp.gather_local,
-                            "result": (shm.name, mesh.nnode),
-                            "timeline": want_timeline,
-                            "ckpt_dir": checkpoint_dir,
-                            "ckpt_every": checkpoint_every,
-                            "ckpt_keep": checkpoint_keep,
-                            "resume_step": resume_step,
-                            "faults": faults,
-                            "health_interval": health_interval,
-                        }
-                    )
+                    pl = {
+                        "conn": rp.local_conn,
+                        "h": mesh.elem_h[rp.elements],
+                        "lam": self._lam[rp.elements],
+                        "mu": self._mu[rp.elements],
+                        "nloc": len(rp.nodes),
+                        "n_iface": rp.n_iface_elems,
+                        "neighbors": [
+                            (o, loc)
+                            for o, (loc, _) in rp.shared_with.items()
+                        ],
+                        "dt": self.dt,
+                        "nsteps": nsteps,
+                        "force_fn": force_fn,
+                        "gnodes": rp.nodes,
+                        "gather_nodes": rp.gather_nodes,
+                        "gather_local": rp.gather_local,
+                        "result": (shm.name, mesh.nnode),
+                        "timeline": want_timeline,
+                        "ckpt_dir": checkpoint_dir,
+                        "ckpt_every": checkpoint_every,
+                        "ckpt_keep": checkpoint_keep,
+                        "resume_step": resume_step,
+                        "faults": faults,
+                        "health_interval": health_interval,
+                    }
+                    if lts_ctx is None:
+                        pl.update(
+                            m2=m2[r], inv_A=inv_A[r],
+                            prev_coef=prev_coef[r],
+                        )
+                    else:
+                        # the LTS program hoists per-level coefficients
+                        # itself, from the raw mass/damping slices
+                        pl.update(
+                            m=self.m_local[r], C=self.C_local[r],
+                            rates=lts_ctx["rates"][rp.elements],
+                            r_int=lts_ctx["r_int"],
+                            r_sync=lts_ctx["r_sync"],
+                        )
+                    payloads.append(pl)
+                program = (
+                    _rank_program_lts if lts_ctx is not None
+                    else _rank_program
+                )
                 try:
-                    timings = world.run_spmd(_rank_program, payloads)
+                    timings = world.run_spmd(program, payloads)
                     break
                 except WorkerFailure:
                     telemetry.count("resilience.worker_failures")

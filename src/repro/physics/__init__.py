@@ -11,7 +11,7 @@ from repro.physics.elastic import (
     velocities_from_lame,
 )
 from repro.physics.stacey import stacey_boundary_matrices, stacey_coefficients
-from repro.physics.cfl import stable_timestep
+from repro.physics.cfl import elem_stable_dt, stable_timestep, validate_cfl
 
 __all__ = [
     "lame_from_velocities",
@@ -19,4 +19,6 @@ __all__ = [
     "stacey_boundary_matrices",
     "stacey_coefficients",
     "stable_timestep",
+    "elem_stable_dt",
+    "validate_cfl",
 ]

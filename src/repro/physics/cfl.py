@@ -3,11 +3,31 @@
 The multiresolution mesh is wavelength-adaptive, so (paper Section 2)
 the Courant limit is of the order of the step needed for accuracy —
 this is why adaptive meshes also pay off in time-step count.
+
+Besides the global step, this module exposes the **per-element** stable
+step (:func:`elem_stable_dt`) that the clustered local-time-stepping
+plan bins into power-of-two rate groups, and the run-start CFL guard
+(:func:`validate_cfl`) that names the offending element when a ``dt``
+computed for a different mesh or material slips through.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+
+def elem_stable_dt(h, vp, *, safety: float = 0.5, dim: int = 3) -> np.ndarray:
+    """Per-element explicit stable step for lumped multilinear
+    elements: ``dt_e = safety * h_e / (vp_e * sqrt(dim))``.
+
+    The elementwise version of :func:`stable_timestep`; its minimum is
+    the global step, and the elementwise *ratios* to that minimum are
+    what the LTS rate binning groups into power-of-two clusters."""
+    h = np.asarray(h, dtype=float)
+    vp = np.asarray(vp, dtype=float)
+    if h.size == 0:
+        raise ValueError("empty mesh")
+    return safety * (h / vp) / np.sqrt(dim)
 
 
 def stable_timestep(h, vp, *, safety: float = 0.5, dim: int = 3) -> float:
@@ -17,8 +37,47 @@ def stable_timestep(h, vp, *, safety: float = 0.5, dim: int = 3) -> float:
     ``h`` and ``vp`` are per-element arrays; the minimum ratio over the
     mesh governs (the finest/softest element).
     """
-    h = np.asarray(h, dtype=float)
-    vp = np.asarray(vp, dtype=float)
-    if h.size == 0:
-        raise ValueError("empty mesh")
-    return float(safety * np.min(h / vp) / np.sqrt(dim))
+    return float(np.min(elem_stable_dt(h, vp, safety=safety, dim=dim)))
+
+
+#: single-entry cache of the per-element stability ratios, keyed on the
+#: *identity* of the (h, vp) arrays: the solvers hold these arrays for
+#: their lifetime and re-validate on every run, so recomputing the
+#: elementwise division (O(nelem)) per validation was pure rework
+_cfl_cache: tuple | None = None
+
+
+def _limiting_element(h, vp, dim: int):
+    """(argmin element, its unit-safety stable dt, min over elements)
+    with a single-entry identity-keyed cache."""
+    global _cfl_cache
+    c = _cfl_cache
+    if c is not None and c[0] is h and c[1] is vp and c[2] == dim:
+        return c[3], c[4]
+    ratios = elem_stable_dt(h, vp, safety=1.0, dim=dim)
+    idx = int(np.argmin(ratios))
+    entry = (idx, float(ratios[idx]))
+    _cfl_cache = (h, vp, dim, *entry)
+    return entry
+
+
+def validate_cfl(dt: float, h, vp, *, safety_max: float = 1.0,
+                 dim: int = 3) -> None:
+    """Re-validate ``dt`` against the CFL stability bound (paper eq.
+    2.6 regime).  Raises when the step exceeds ``safety_max`` times the
+    stable step — i.e. only for genuinely unstable configurations, not
+    for aggressive-but-legal safety factors.  The error names the
+    limiting element and its local stable step, so an out-of-range
+    ``dt`` points at the mesh/material cell that pins the bound."""
+    from repro import telemetry
+    from repro.resilience.health import NumericalHealthError
+
+    idx, local_limit = _limiting_element(h, vp, dim)
+    limit = safety_max * local_limit
+    if dt > limit * (1.0 + 1e-12):
+        telemetry.count("resilience.health_violations")
+        raise NumericalHealthError(
+            f"dt = {dt:.6g} s exceeds the CFL-stable step {limit:.6g} s "
+            f"(limiting element {idx}: local stable dt {local_limit:.6g} s "
+            f"at safety 1); the explicit update will diverge"
+        )

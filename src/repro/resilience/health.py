@@ -10,7 +10,10 @@ structured, attributable error:
   one ``np.isfinite`` reduction per interval, nothing per step);
 * :func:`validate_cfl` — re-validates the time step against the CFL
   bound at run start, catching a ``dt`` that was computed for a
-  different mesh or material;
+  different mesh or material (the implementation lives with the CFL
+  math in :mod:`repro.physics.cfl`, which caches the per-element
+  ratios and names the limiting element; re-exported here so the
+  resilience-facing import path keeps working);
 * :class:`NumericalHealthError` — carries the step, rank, and field
   name, so a distributed failure report says *where* the run went bad.
 
@@ -74,17 +77,12 @@ def should_check(k: int, nsteps: int, interval: int | None) -> bool:
     return k == nsteps - 1 or (k + 1) % interval == 0
 
 
-def validate_cfl(dt: float, h, vp, *, safety_max: float = 1.0) -> None:
-    """Re-validate ``dt`` against the CFL stability bound (paper eq.
-    2.6 regime).  Raises when the step exceeds ``safety_max`` times the
-    stable step — i.e. only for genuinely unstable configurations, not
-    for aggressive-but-legal safety factors."""
-    from repro.physics.cfl import stable_timestep
+from repro.physics.cfl import validate_cfl  # noqa: E402  (re-export)
 
-    limit = stable_timestep(h, vp, safety=safety_max)
-    if dt > limit * (1.0 + 1e-12):
-        telemetry.count("resilience.health_violations")
-        raise NumericalHealthError(
-            f"dt = {dt:.6g} s exceeds the CFL-stable step {limit:.6g} s; "
-            "the explicit update will diverge"
-        )
+__all__ = [
+    "DEFAULT_HEALTH_INTERVAL",
+    "NumericalHealthError",
+    "check_finite",
+    "should_check",
+    "validate_cfl",
+]

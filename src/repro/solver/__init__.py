@@ -12,17 +12,33 @@ for verification (Figure 2.4).
 
 :class:`RegularGridScalarWave` is the dimension-generic scalar wave
 substrate of the inverse problem (2D antiplane and 3D scalar).
+
+:mod:`repro.solver.lts` plans clustered local time stepping — rate-
+binned power-of-two step clusters with a 2-to-1 neighbor invariant —
+which every solver takes through its ``lts=`` knob.
 """
 
 from repro.solver.wave_solver import ElasticWaveSolver
 from repro.solver.tet_solver import TetWaveSolver
 from repro.solver.scalarwave import RegularGridScalarWave, batched_forcing
 from repro.solver.checkpoint import checkpoint_schedule
+from repro.solver.lts import (
+    LTSPlan,
+    bin_rates,
+    build_lts_plan,
+    constraint_groups,
+    smooth_rates,
+)
 
 __all__ = [
     "ElasticWaveSolver",
+    "LTSPlan",
     "TetWaveSolver",
     "RegularGridScalarWave",
     "batched_forcing",
+    "bin_rates",
+    "build_lts_plan",
     "checkpoint_schedule",
+    "constraint_groups",
+    "smooth_rates",
 ]

@@ -36,8 +36,10 @@ import numpy as np
 from repro.backend import get_backend
 from repro.backend.sparse_ops import ScatterPlan
 from repro.fem.scalar_element import scalar_stiffness_reference
+from repro.physics.cfl import elem_stable_dt
 from repro.resilience import check_finite, should_check
 from repro.solver.checkpoint import CheckpointManager
+from repro.solver.lts import DEFAULT_MAX_RATE, LTSPlan, build_lts_plan
 
 from repro import telemetry
 
@@ -121,6 +123,12 @@ class RegularGridScalarWave:
         # _march_coeffs): forward/adjoint/incremental sweeps of one
         # gradient or Hessian-vector evaluation share the same iterate
         self._coeff_cache = None
+        # single-entry caches for the clustered-LTS plan and its
+        # per-level execution state (kernels, coefficient slices,
+        # substep buffers) — one forward model is marched many times
+        # on the same material iterate
+        self._lts_plan_cache = None
+        self._lts_exec_cache = None
         # fused stiffness kernel (coefficients vary per call: the
         # inversion sweeps evaluate many material iterates)
         self._kernel = get_backend().element_kernel(
@@ -432,6 +440,218 @@ class RegularGridScalarWave:
         )
         return inv_a_plus, a_minus
 
+    # ----------------------------------------------- local time stepping
+
+    def lts_plan(self, mu: np.ndarray, *, max_rate: int = DEFAULT_MAX_RATE
+                 ) -> LTSPlan:
+        """Clustered-LTS plan for material ``mu``: per-element stable
+        steps (uniform ``h``, wave speed ``sqrt(mu_e/rho)``) binned
+        into power-of-two rate clusters and 2-to-1 smoothed.  Cached on
+        the material iterate (the inverse sweeps re-march one ``mu``
+        many times)."""
+        mu = np.asarray(mu, dtype=float)
+        c = self._lts_plan_cache
+        if c is not None and c[1] == max_rate and np.array_equal(c[0], mu):
+            return c[2]
+        limits = elem_stable_dt(
+            np.full(self.nelem, self.h), np.sqrt(mu / self.rho),
+            safety=1.0, dim=self.d,
+        )
+        plan = build_lts_plan(
+            self.conn, self.nnode, dt=0.0, elem_dt=limits, max_rate=max_rate
+        )
+        self._lts_plan_cache = (mu.copy(), max_rate, plan)
+        return plan
+
+    def _lts_exec(self, plan, mu, dt, alpha, batch):
+        """Per-level execution state: a fused stiffness kernel over the
+        cluster's elements (own + halo), the cluster-step leapfrog
+        diagonals restricted to its own nodes, and preallocated substep
+        buffers — so the clustered loop stays allocation-free.  Single-
+        entry cache keyed on (plan, material, dt, batch)."""
+        c = self._lts_exec_cache
+        alpha = None if alpha is None else np.asarray(alpha, dtype=float)
+        if (
+            c is not None
+            and c[0] is plan
+            and c[2] == dt
+            and c[4] == batch
+            and np.array_equal(c[1], mu)
+            and (c[3] is None) == (alpha is None)
+            and (c[3] is None or np.array_equal(c[3], alpha))
+        ):
+            return c[5]
+        C = self.damping_diag(mu)
+        if alpha is not None:
+            C = C + self.volume_damping_diag(alpha)
+        backend = get_backend()
+        coef_all = np.asarray(mu, dtype=float) * self.h ** (self.d - 2)
+        levels = []
+        for lv in plan.levels:
+            dtc = lv.rate * dt
+            own = lv.own_nodes
+            shp = (len(own),) if batch is None else (len(own), batch)
+            ishp = (
+                (len(lv.interp_nodes),)
+                if batch is None
+                else (len(lv.interp_nodes), batch)
+            )
+
+            def _diag(v):
+                return v if batch is None else v[:, None]
+
+            levels.append(
+                {
+                    "rate": lv.rate,
+                    "dtc2": dtc * dtc,
+                    "rc2": float(lv.rate) ** 2,
+                    "own": own,
+                    "interp": lv.interp_nodes,
+                    "kernel": backend.element_kernel(
+                        self.conn[lv.elems], (self.K_ref,), self.nnode
+                    ),
+                    "coef": np.ascontiguousarray(coef_all[lv.elems]),
+                    "m2": _diag(2.0 * self.m[own]),
+                    "inv_ap": _diag(1.0 / (self.m[own] + 0.5 * dtc * C[own])),
+                    "a_minus": _diag(self.m[own] - 0.5 * dtc * C[own]),
+                    "xo": np.empty(shp),
+                    "xpo": np.empty(shp),
+                    "ko": np.empty(shp),
+                    "fo": np.empty(shp),
+                    "sv": np.empty(ishp),
+                    "iv": np.empty(ishp),
+                    "fired": 0,
+                }
+            )
+        self._lts_exec_cache = (
+            plan, np.asarray(mu, dtype=float).copy(), dt, alpha, batch, levels
+        )
+        return levels
+
+    def _march_lts(
+        self, mu, forcing, nsteps, dt, plan, *,
+        batch=None, alpha=None, checkpoint=None, resume=False,
+        faults=None, health_interval=0,
+    ) -> np.ndarray:
+        """Clustered-leapfrog march (see :mod:`repro.solver.lts` for
+        the schedule contract): one loop over fine indices; each level
+        fires when its rate divides the index, coarsest first, reading
+        time-interpolated values at its coarse halo.  Returns the final
+        ``(2, nnode)`` restart pair (``store`` histories are a global-
+        loop feature).  Unlike the global march — which posits
+        ``x^1 = 0`` and starts at ``k = 1`` — every level takes its
+        first step at index 0, so ``forcing(0)`` is applied; sources
+        quiet at ``t = 0`` (the standard case) see identical startups.
+
+        Checkpoints are written only at **sync boundaries** (fine
+        indices that are multiples of the coarsest rate, where every
+        node holds the state at the same time): whenever the manager's
+        cadence came due since the last sync snapshot, the restart pair
+        is saved there, and a resume restarts from it bit-identically.
+        """
+        shape = (self.nnode,) if batch is None else (self.nnode, int(batch))
+        levels = self._lts_exec(plan, mu, dt, alpha, batch)
+        x_prev = np.zeros(shape)
+        x = np.zeros(shape)
+        Kx = np.empty(shape)
+        r_min, r_max = plan.min_rate, plan.max_rate
+        if nsteps % r_max:
+            raise ValueError(
+                f"nsteps = {nsteps} must be a multiple of the coarsest "
+                f"cluster rate {r_max} so the march ends synchronized"
+            )
+        k0 = 0
+        if resume and checkpoint is not None:
+            ck = checkpoint.latest()
+            if ck is not None:
+                x_prev[:] = ck.arrays["x_prev"]
+                x[:] = ck.arrays["x"]
+                k0 = int(ck.meta["next_k"])
+                if k0 % r_max:
+                    raise ValueError(
+                        f"LTS resume index {k0} is not a sync boundary "
+                        f"(coarsest rate {r_max})"
+                    )
+        last_sync_saved = k0
+        with telemetry.span("scalar.march_lts") as _m:
+            for j in range(k0, nsteps, r_min):
+                f = forcing(j)
+                for lev in levels:
+                    rate = lev["rate"]
+                    if j % rate:
+                        continue
+                    lev["fired"] += 1
+                    interp = lev["interp"]
+                    ni = len(interp)
+                    if ni:
+                        # overwrite the coarse halo with its time-
+                        # interpolated value, apply, then restore
+                        sv, iv = lev["sv"], lev["iv"]
+                        np.take(x, interp, axis=0, out=sv)
+                        np.take(x_prev, interp, axis=0, out=iv)
+                        if j % (2 * rate):  # theta = 1/2
+                            np.add(iv, sv, out=iv)
+                            np.multiply(iv, 0.5, out=iv)
+                        x[interp] = iv
+                    if batch is None:
+                        lev["kernel"].matvec(x, Kx, coefs=(lev["coef"],))
+                    else:
+                        lev["kernel"].matmat(x, Kx, coefs=(lev["coef"],))
+                    if ni:
+                        x[interp] = sv
+                    own = lev["own"]
+                    xo, xpo, ko = lev["xo"], lev["xpo"], lev["ko"]
+                    np.take(x, own, axis=0, out=xo)
+                    np.take(x_prev, own, axis=0, out=xpo)
+                    np.take(Kx, own, axis=0, out=ko)
+                    # r = 2M x - dt_c^2 K x~ - A- x_prev + r_c^2 f
+                    np.multiply(ko, lev["dtc2"], out=ko)
+                    np.multiply(lev["m2"], xo, out=lev["fo"])
+                    np.subtract(lev["fo"], ko, out=ko)
+                    np.multiply(lev["a_minus"], xpo, out=lev["fo"])
+                    np.subtract(ko, lev["fo"], out=ko)
+                    if f is not None:
+                        # forcing(j) is dt^2-prescaled by convention;
+                        # the cluster step dt_c = r dt scales it by r^2
+                        np.take(f, own, axis=0, out=lev["fo"])
+                        np.multiply(lev["fo"], lev["rc2"], out=lev["fo"])
+                        np.add(ko, lev["fo"], out=ko)
+                    np.multiply(ko, lev["inv_ap"], out=ko)
+                    x_prev[own] = xo
+                    x[own] = ko
+                s = j + r_min
+                if s % r_max == 0:  # sync boundary: all nodes at s*dt
+                    if faults is not None:
+                        faults.poison_state(0, s - 1, x)
+                    if health_interval and should_check(
+                        s - 1, nsteps, health_interval
+                    ):
+                        check_finite(x, step=s - 1, field="x")
+                    if (
+                        checkpoint is not None
+                        and checkpoint.interval > 0
+                        and s // checkpoint.interval
+                        > last_sync_saved // checkpoint.interval
+                    ):
+                        checkpoint.save(
+                            s - 1, {"x_prev": x_prev, "x": x},
+                            {"next_k": s, "lts_rate": r_max},
+                        )
+                        last_sync_saved = s
+            flops = 0
+            for lev in levels:
+                per = (
+                    lev["kernel"].flops_per_matvec
+                    if batch is None
+                    else lev["kernel"].flops_per_matmat(batch)
+                )
+                flops += lev["fired"] * (
+                    per + 6 * len(lev["own"]) * (1 if batch is None else batch)
+                )
+                _m.add(f"fired_r{lev['rate']}", lev["fired"])
+            _m.add("flops", flops)
+        return np.stack([x_prev, x])
+
     def march(
         self,
         mu: np.ndarray,
@@ -449,6 +669,7 @@ class RegularGridScalarWave:
         resume: bool = False,
         faults=None,
         health_interval: int = 0,
+        lts: int | bool | LTSPlan | None = None,
     ) -> np.ndarray | None:
         """Run the leapfrog ``A+ x^{k+1} = (2M - dt^2 K) x^k - A- x^{k-1}
         + f^k``; ``forcing(k)`` supplies ``f^k`` (may be None).
@@ -478,6 +699,34 @@ class RegularGridScalarWave:
         ``health_interval`` arms the NaN/Inf sentinel; ``faults`` takes
         a :class:`~repro.resilience.FaultPlan` (state poisoning).
         """
+        if lts:
+            if isinstance(lts, LTSPlan):
+                plan = lts
+            else:
+                cap = DEFAULT_MAX_RATE if lts is True else int(lts)
+                # all nodes must be synchronized when the march ends,
+                # so the coarsest rate must divide nsteps: cap by the
+                # largest power of two that does
+                cap = min(cap, nsteps & -nsteps)
+                plan = self.lts_plan(mu, max_rate=cap)
+            if not plan.trivial:
+                if (
+                    store
+                    or on_step is not None
+                    or x0 is not None
+                    or x1 is not None
+                ):
+                    raise ValueError(
+                        "lts marches run from rest with store=False (no "
+                        "history storage, on_step callbacks, or initial "
+                        "states)"
+                    )
+                return self._march_lts(
+                    mu, forcing, nsteps, dt, plan,
+                    batch=batch, alpha=alpha, checkpoint=checkpoint,
+                    resume=resume, faults=faults,
+                    health_interval=health_interval,
+                )
         if batch is None and x0 is not None and np.ndim(x0) == 2:
             batch = np.shape(x0)[1]
         if batch is None and x1 is not None and np.ndim(x1) == 2:

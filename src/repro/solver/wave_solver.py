@@ -32,7 +32,7 @@ from repro.io.snapshots import SnapshotRecorder
 from repro.mesh.hanging import HangingNodeInfo, build_constraints
 from repro.mesh.hexmesh import HexMesh
 from repro.octree.linear_octree import LinearOctree
-from repro.physics.cfl import stable_timestep
+from repro.physics.cfl import elem_stable_dt, stable_timestep
 from repro.physics.elastic import lame_from_velocities
 from repro.physics.stacey import stacey_boundary_matrices, stacey_coefficients
 from repro.resilience import (
@@ -42,6 +42,12 @@ from repro.resilience import (
     validate_cfl,
 )
 from repro.solver.checkpoint import CheckpointManager
+from repro.solver.lts import (
+    DEFAULT_MAX_RATE,
+    LTSPlan,
+    build_lts_plan,
+    constraint_groups,
+)
 from repro.util.flops import FlopCounter
 
 from repro import telemetry
@@ -89,6 +95,7 @@ class ElasticWaveSolver:
         dt: float | None = None,
         cfl_safety: float = 0.5,
         constraints: HangingNodeInfo | None = None,
+        lts: int | bool = 0,
     ):
         self.mesh = mesh
         self.tree = tree
@@ -113,10 +120,12 @@ class ElasticWaveSolver:
             #: O(nelem) scatter, constant across steps
             self.Kb_diag = self.Kb.diagonal()
             self.m_alpha = lumped_mass(mesh.conn, h, rho * alpha_e, mesh.nnode)
+            self._beta_e = beta_e
         else:
             self.Kb = None
             self.Kb_diag = None
             self.m_alpha = np.zeros(mesh.nnode)
+            self._beta_e = None
 
         # Stacey absorbing boundaries
         faces = []
@@ -157,6 +166,12 @@ class ElasticWaveSolver:
         # it into the residual with one sparse product, no temporaries
         self._K_AB_mdt2 = (self.K_AB * (-(dt_**2))).tocsr()
         self.flops = FlopCounter()
+        #: default clustered-LTS setting for run/run_batch: 0/False =
+        #: global dt, True = LTS at DEFAULT_MAX_RATE, an int = the
+        #: max-rate cap (power of two)
+        self.lts = lts
+        self._lts_plan_cache = None
+        self._lts_exec_cache = None
 
     @property
     def nnode(self) -> int:
@@ -187,6 +202,559 @@ class ElasticWaveSolver:
         n += 8 * 3 * self.A_bar.shape[0]  # projected residual buffer
         return n
 
+    # ----------------------------------------------- local time stepping
+
+    def lts_plan(self, *, max_rate: int = DEFAULT_MAX_RATE) -> LTSPlan:
+        """Clustered-LTS plan for this solver's mesh/material: the
+        per-element stable steps are binned into power-of-two rate
+        clusters, 2-to-1 smoothed, with hanging-node constraint
+        closures clamped to a common rate (the projection then splits
+        into independent per-level blocks)."""
+        c = self._lts_plan_cache
+        if c is not None and c[0] == max_rate:
+            return c[1]
+        plan = build_lts_plan(
+            self.mesh.conn,
+            self.nnode,
+            dt=self.dt,
+            elem_dt=elem_stable_dt(self.mesh.elem_h, self.vp, safety=1.0),
+            max_rate=max_rate,
+            groups=constraint_groups(self.constraints.masters),
+        )
+        self._lts_plan_cache = (max_rate, plan)
+        return plan
+
+    def _lts_exec(self, plan: LTSPlan) -> list[dict]:
+        """Static per-level execution state for the clustered loop: a
+        stiffness (and Rayleigh) operator over the cluster's elements
+        (own + one-coarser halo), the cluster-step diagonals restricted
+        to its own nodes, the per-level hanging-node projection block,
+        and the own-row slice of the Stacey ``c1`` coupling prescaled
+        by ``-dt_c^2``.  Cached on the plan object."""
+        c = self._lts_exec_cache
+        if c is not None and c[0] is plan:
+            return c[1]
+        conn, h = self.mesh.conn, self.mesh.elem_h
+        # bar (independent) dof -> rate of its constraint closure; the
+        # closures are rate-clamped, so each bar column's support lives
+        # entirely inside one level
+        col_rate = plan.node_rate[self.constraints.independent]
+        levels = []
+        for lv in plan.levels:
+            e = lv.elems
+            own = lv.own_nodes
+            dtc = lv.rate * self.dt
+            K_c = ElasticOperator(
+                conn[e], h[e], self.lam[e], self.mu[e], self.nnode
+            )
+            Kb_c = None
+            if self.Kb is not None:
+                be = self._beta_e[e]
+                Kb_c = ElasticOperator(
+                    conn[e], h[e], self.lam[e] * be, self.mu[e] * be,
+                    self.nnode,
+                )
+            A_c = (self.m[own] + 0.5 * dtc * self.m_alpha[own])[:, None] \
+                + 0.5 * dtc * self.C_diag[own]
+            if self.Kb_diag is not None:
+                A_c = A_c + 0.5 * dtc * self.Kb_diag[own]
+            cols = np.nonzero(col_rate == lv.rate)[0]
+            B_c = self.B[own][:, cols].tocsr()
+            BT_c = B_c.T.tocsr()
+            own_dofs = (own[:, None] * 3 + np.arange(3)).ravel()
+            kab = (self.K_AB[own_dofs] * (-(dtc * dtc))).tocsr()
+            levels.append(
+                {
+                    "rate": lv.rate,
+                    "dtc": dtc,
+                    "dtc2": dtc * dtc,
+                    "hdc": 0.5 * dtc,
+                    "own": own,
+                    "interp": lv.interp_nodes,
+                    "K": K_c,
+                    "Kb": Kb_c,
+                    "kb_diag": (
+                        None if self.Kb_diag is None else self.Kb_diag[own]
+                    ),
+                    "m2": 2.0 * self.m[own],
+                    "prev_coef": (0.5 * dtc * self.m_alpha[own]
+                                  - self.m[own])[:, None]
+                    + 0.5 * dtc * self.C_diag[own],
+                    "B": B_c,
+                    "BT": BT_c,
+                    "inv_A_bar": 1.0 / (BT_c @ A_c),
+                    "kab": kab if kab.nnz else None,
+                }
+            )
+        self._lts_exec_cache = (plan, levels)
+        return levels
+
+    @staticmethod
+    def _lts_receiver_slots(levels: list[dict], receivers) -> list[tuple]:
+        """Per-level receiver membership: each receiver node is owned
+        by exactly one level; returns ``(receiver idx, position of the
+        node inside the level's own-node array)`` pairs per level."""
+        slots = []
+        for lev in levels:
+            own = lev["own"]
+            nodes = receivers.nodes
+            pos = np.searchsorted(own, nodes)
+            pos_c = np.minimum(pos, max(len(own) - 1, 0))
+            mask = (pos < len(own)) & (own[pos_c] == nodes)
+            ridx = np.nonzero(mask)[0]
+            slots.append((ridx, pos[ridx]))
+        return slots
+
+    @staticmethod
+    def _lts_fill_receiver_gaps(data, levels, slots, nsteps: int) -> None:
+        """Receivers owned by a coarse cluster are sampled at its own
+        cadence; linearly interpolate the unrecorded columns so every
+        trace comes back on the fine-step time axis."""
+        cols = np.arange(nsteps, dtype=float)
+        for lev, (ridx, _) in zip(levels, slots):
+            rate = lev["rate"]
+            if rate == 1 or not len(ridx):
+                continue
+            filled = np.arange(0, nsteps, rate)
+            fcols = filled.astype(float)
+            for i in ridx:
+                for comp in range(data.shape[1]):
+                    data[i, comp, :] = np.interp(
+                        cols, fcols, data[i, comp, filled]
+                    )
+
+    def _lts_dispatch(self, lts, t_end: float) -> tuple[LTSPlan | None, int]:
+        """Resolve the effective LTS setting for a run: returns the
+        non-trivial plan (or None for the global loop) and ``nsteps``.
+        The march must end on a sync boundary (all nodes at the same
+        time), so ``nsteps`` is rounded **up** to the next multiple of
+        the coarsest cluster rate — a few extra steps past ``t_end``,
+        never fewer."""
+        lts = self.lts if lts is None else lts
+        nsteps = int(np.ceil(t_end / self.dt))
+        if not lts:
+            return None, nsteps
+        if isinstance(lts, LTSPlan):
+            plan = lts
+        else:
+            cap = DEFAULT_MAX_RATE if lts is True else int(lts)
+            plan = self.lts_plan(max_rate=cap)
+        if plan.trivial:
+            return None, nsteps
+        r_max = plan.max_rate
+        return plan, -(-nsteps // r_max) * r_max
+
+    def _run_lts(
+        self,
+        forces,
+        nsteps: int,
+        plan: LTSPlan,
+        *,
+        receivers=None,
+        record="velocity",
+        checkpoint=None,
+        resume=False,
+        faults=None,
+        health_interval=DEFAULT_HEALTH_INTERVAL,
+    ) -> Seismograms | None:
+        """Clustered-leapfrog march (schedule contract in
+        :mod:`repro.solver.lts`): one loop over fine indices, each
+        cluster fires when its rate divides the index, coarsest first,
+        reading time-interpolated values at its one-coarser halo.
+        Checkpoints (and fault/health probes) happen only at sync
+        boundaries — multiples of the coarsest rate, where every node
+        holds the state at the same time."""
+        dt = self.dt
+        nnode = self.nnode
+        levels = self._lts_exec(plan)
+        r_min, r_max = plan.min_rate, plan.max_rate
+        u_prev = np.zeros((nnode, 3))
+        u = np.zeros((nnode, 3))
+        Ku = np.empty((nnode, 3))
+        Kbu = np.empty((nnode, 3)) if self.Kb is not None else None
+        fbuf = np.zeros((nnode, 3))
+        if hasattr(forces, "forces_at"):
+            force_fn = lambda t, out: forces.forces_at(t, out)
+        else:
+            force_fn = forces
+        # per-level runtime buffers (own-node sized; the loop below is
+        # allocation-free) and firing counters
+        rt = []
+        for lev in levels:
+            n_own = len(lev["own"])
+            ncols = lev["B"].shape[1]
+            ni = len(lev["interp"])
+            rt.append(
+                {
+                    "r": np.empty((n_own, 3)),
+                    "tmp": np.empty((n_own, 3)),
+                    "u_own": np.empty((n_own, 3)),
+                    "up_own": np.empty((n_own, 3)),
+                    "unew": np.empty((n_own, 3)),
+                    "rbar": np.empty((ncols, 3)),
+                    "kb_prev": (
+                        np.zeros((n_own, 3)) if self.Kb is not None else None
+                    ),
+                    "kb_new": (
+                        np.empty((n_own, 3)) if self.Kb is not None else None
+                    ),
+                    "sv": np.empty((ni, 3)),
+                    "iv": np.empty((ni, 3)),
+                    "fired": 0,
+                }
+            )
+        data = receivers.allocate(3, nsteps) if receivers is not None else None
+        slots = (
+            self._lts_receiver_slots(levels, receivers)
+            if receivers is not None
+            else [(np.zeros(0, dtype=np.int64),) * 2] * len(levels)
+        )
+        if health_interval:
+            validate_cfl(dt, self.mesh.elem_h, self.vp)
+        k0 = 0
+        if resume and checkpoint is not None:
+            ck = checkpoint.latest()
+            if ck is not None:
+                u_prev[:] = ck.arrays["u_prev"]
+                u[:] = ck.arrays["u"]
+                for i, st in enumerate(rt):
+                    key = f"kb_prev_{i}"
+                    if st["kb_prev"] is not None and key in ck.arrays:
+                        st["kb_prev"][:] = ck.arrays[key]
+                if data is not None and "rec_data" in ck.arrays:
+                    prefix = ck.arrays["rec_data"]
+                    data[:, :, : prefix.shape[2]] = prefix
+                k0 = int(ck.meta["next_k"])
+                if k0 % r_max:
+                    raise ValueError(
+                        f"LTS resume index {k0} is not a sync boundary "
+                        f"(coarsest rate {r_max})"
+                    )
+        last_sync_saved = k0
+        if telemetry.enabled():
+            telemetry.gauge(
+                "elastic.cfl_margin",
+                stable_timestep(self.mesh.elem_h, self.vp, safety=1.0) / dt,
+            )
+            telemetry.gauge(
+                "elastic.lts_theoretical_speedup", plan.theoretical_speedup()
+            )
+        with telemetry.span("elastic.run_lts") as _run:
+            _run.add("nsteps", nsteps)
+            _run.add("nnode", nnode)
+            _run.add("levels", len(levels))
+            _run.add("max_rate", r_max)
+            for j in range(k0, nsteps, r_min):
+                t = j * dt
+                b = force_fn(t, fbuf)
+                for lev, st, (ridx, rpos) in zip(levels, rt, slots):
+                    rate = lev["rate"]
+                    if j % rate:
+                        continue
+                    st["fired"] += 1
+                    interp = lev["interp"]
+                    ni = len(interp)
+                    if ni:
+                        # overwrite the one-coarser halo with its time-
+                        # interpolated value for the matvecs, restore
+                        # right after (the coarse pair brackets j*dt;
+                        # theta is 0 or 1/2 — see lts.interp_theta)
+                        sv, iv = st["sv"], st["iv"]
+                        np.take(u, interp, axis=0, out=sv)
+                        np.take(u_prev, interp, axis=0, out=iv)
+                        if j % (2 * rate):  # theta = 1/2
+                            np.add(iv, sv, out=iv)
+                            np.multiply(iv, 0.5, out=iv)
+                        u[interp] = iv
+                    lev["K"].matvec(u, out=Ku)
+                    if lev["Kb"] is not None:
+                        lev["Kb"].matvec(u, out=Kbu)
+                    own = lev["own"]
+                    r, tmp = st["r"], st["tmp"]
+                    # r = 2M u - dt_c^2 (K + K_AB) u~  (own rows)
+                    np.take(Ku, own, axis=0, out=r)
+                    np.multiply(r, -lev["dtc2"], out=r)
+                    np.take(u, own, axis=0, out=st["u_own"])
+                    np.multiply(lev["m2"][:, None], st["u_own"], out=tmp)
+                    np.add(r, tmp, out=r)
+                    if lev["kab"] is not None:
+                        spmv_acc(lev["kab"], u.reshape(-1), r.reshape(-1))
+                    if ni:
+                        u[interp] = sv
+                    if lev["Kb"] is not None:
+                        hdc = lev["hdc"]
+                        np.take(Kbu, own, axis=0, out=st["kb_new"])
+                        np.multiply(st["kb_new"], hdc, out=tmp)
+                        np.subtract(r, tmp, out=r)
+                        np.multiply(lev["kb_diag"], st["u_own"], out=tmp)
+                        np.multiply(tmp, hdc, out=tmp)
+                        np.add(r, tmp, out=r)
+                        np.multiply(st["kb_prev"], hdc, out=tmp)
+                        np.add(r, tmp, out=r)
+                        st["kb_prev"], st["kb_new"] = (
+                            st["kb_new"], st["kb_prev"],
+                        )
+                    np.take(u_prev, own, axis=0, out=st["up_own"])
+                    np.multiply(lev["prev_coef"], st["up_own"], out=tmp)
+                    np.add(r, tmp, out=r)
+                    if b is not None:
+                        np.take(b, own, axis=0, out=tmp)
+                        np.multiply(tmp, lev["dtc2"], out=tmp)
+                        np.add(r, tmp, out=r)
+                    # per-level hanging-node projection (block of 2.5)
+                    spmv_into(lev["BT"], r, st["rbar"])
+                    np.multiply(st["rbar"], lev["inv_A_bar"], out=st["rbar"])
+                    spmv_into(lev["B"], st["rbar"], st["unew"])
+                    if data is not None and len(ridx):
+                        # sampled at the cluster's own cadence (column
+                        # j); gaps are interpolated after the loop
+                        if record == "velocity":
+                            data[ridx, :, j] = (
+                                st["unew"][rpos] - st["up_own"][rpos]
+                            ) / (2.0 * lev["dtc"])
+                        else:
+                            data[ridx, :, j] = st["u_own"][rpos]
+                    u_prev[own] = st["u_own"]
+                    u[own] = st["unew"]
+                s = j + r_min
+                if s % r_max == 0:  # sync: all nodes hold u(s * dt)
+                    if faults is not None:
+                        faults.poison_state(0, s - 1, u)
+                    if health_interval and should_check(
+                        s - 1, nsteps, health_interval
+                    ):
+                        check_finite(u, step=s - 1, field="u")
+                    if (
+                        checkpoint is not None
+                        and checkpoint.interval > 0
+                        and s // checkpoint.interval
+                        > last_sync_saved // checkpoint.interval
+                    ):
+                        arrays = {"u_prev": u_prev, "u": u}
+                        for i, st in enumerate(rt):
+                            if st["kb_prev"] is not None:
+                                arrays[f"kb_prev_{i}"] = st["kb_prev"]
+                        if data is not None:
+                            arrays["rec_data"] = data[:, :, :s]
+                        checkpoint.save(
+                            s - 1, arrays, {"next_k": s, "lts_rate": r_max}
+                        )
+                        last_sync_saved = s
+            flops = 0
+            for lev, st in zip(levels, rt):
+                per = lev["K"].flops_per_matvec
+                if lev["Kb"] is not None:
+                    per += lev["Kb"].flops_per_matvec
+                flops += st["fired"] * (per + 12 * len(lev["own"]))
+                _run.add(f"fired_r{lev['rate']}", st["fired"])
+            _run.add("flops", flops)
+            self.flops.add("stiffness", flops)
+        if receivers is None:
+            return None
+        self._lts_fill_receiver_gaps(data, levels, slots, nsteps)
+        return Seismograms(
+            data=data, dt=dt, kind=record, positions=receivers.positions
+        )
+
+    def _run_batch_lts(
+        self,
+        forces: Sequence,
+        nsteps: int,
+        plan: LTSPlan,
+        *,
+        receivers=None,
+        record="velocity",
+    ) -> list[Seismograms] | None:
+        """Batched clustered-leapfrog march: same schedule as
+        :meth:`_run_lts` over ``(nnode, 3, B)`` state blocks — one
+        level-3 per-cluster ``matmat`` and multi-vector CSR products
+        per firing instead of ``B`` of each."""
+        Bn = len(forces)
+        dt = self.dt
+        nnode = self.nnode
+        levels = self._lts_exec(plan)
+        r_min, r_max = plan.min_rate, plan.max_rate
+        u_prev = np.zeros((nnode, 3, Bn))
+        u = np.zeros((nnode, 3, Bn))
+        Ku = np.empty((nnode, 3, Bn))
+        Kbu = np.empty((nnode, 3, Bn)) if self.Kb is not None else None
+        force_fns = [
+            (lambda t, out, fc=fc: fc.forces_at(t, out))
+            if hasattr(fc, "forces_at") else fc
+            for fc in forces
+        ]
+        fbuf = np.zeros((nnode, 3, Bn))
+        fcol = np.zeros((nnode, 3))
+        col_live = np.zeros(Bn, dtype=bool)
+        rt = []
+        for lev in levels:
+            n_own = len(lev["own"])
+            ncols = lev["B"].shape[1]
+            ni = len(lev["interp"])
+            rt.append(
+                {
+                    "r": np.empty((n_own, 3, Bn)),
+                    "tmp": np.empty((n_own, 3, Bn)),
+                    "u_own": np.empty((n_own, 3, Bn)),
+                    "up_own": np.empty((n_own, 3, Bn)),
+                    "unew": np.empty((n_own, 3, Bn)),
+                    "rbar": np.empty((ncols, 3, Bn)),
+                    "kb_prev": (
+                        np.zeros((n_own, 3, Bn))
+                        if self.Kb is not None else None
+                    ),
+                    "kb_new": (
+                        np.empty((n_own, 3, Bn))
+                        if self.Kb is not None else None
+                    ),
+                    "sv": np.empty((ni, 3, Bn)),
+                    "iv": np.empty((ni, 3, Bn)),
+                    "fired": 0,
+                }
+            )
+        if receivers is None:
+            recs = None
+        elif isinstance(receivers, ReceiverArray):
+            recs = [receivers] * Bn
+        else:
+            recs = list(receivers)
+            if len(recs) != Bn:
+                raise ValueError("need one receiver array per scenario")
+        data = (
+            [ra.allocate(3, nsteps) for ra in recs]
+            if recs is not None else None
+        )
+        slots = (
+            [self._lts_receiver_slots(levels, ra) for ra in recs]
+            if recs is not None else None
+        )
+        with telemetry.span("elastic.run_batch_lts") as _run:
+            _run.add("nsteps", nsteps)
+            _run.add("nnode", nnode)
+            _run.add("batch", Bn)
+            _run.add("levels", len(levels))
+            for j in range(0, nsteps, r_min):
+                t = j * dt
+                live = False
+                for b, fn in enumerate(force_fns):
+                    fb = fn(t, fcol)
+                    if fb is None:
+                        if col_live[b]:
+                            fbuf[:, :, b] = 0.0
+                            col_live[b] = False
+                    else:
+                        fbuf[:, :, b] = fb
+                        col_live[b] = True
+                        live = True
+                for li, (lev, st) in enumerate(zip(levels, rt)):
+                    rate = lev["rate"]
+                    if j % rate:
+                        continue
+                    st["fired"] += 1
+                    interp = lev["interp"]
+                    ni = len(interp)
+                    if ni:
+                        sv, iv = st["sv"], st["iv"]
+                        np.take(u, interp, axis=0, out=sv)
+                        np.take(u_prev, interp, axis=0, out=iv)
+                        if j % (2 * rate):  # theta = 1/2
+                            np.add(iv, sv, out=iv)
+                            np.multiply(iv, 0.5, out=iv)
+                        u[interp] = iv
+                    lev["K"].matmat(u, out=Ku)
+                    if lev["Kb"] is not None:
+                        lev["Kb"].matmat(u, out=Kbu)
+                    own = lev["own"]
+                    n_own = len(own)
+                    r, tmp = st["r"], st["tmp"]
+                    np.take(Ku, own, axis=0, out=r)
+                    np.multiply(r, -lev["dtc2"], out=r)
+                    np.take(u, own, axis=0, out=st["u_own"])
+                    np.multiply(
+                        lev["m2"][:, None, None], st["u_own"], out=tmp
+                    )
+                    np.add(r, tmp, out=r)
+                    if lev["kab"] is not None:
+                        spmv_acc(
+                            lev["kab"],
+                            u.reshape(3 * nnode, Bn),
+                            r.reshape(3 * n_own, Bn),
+                        )
+                    if ni:
+                        u[interp] = sv
+                    if lev["Kb"] is not None:
+                        hdc = lev["hdc"]
+                        np.take(Kbu, own, axis=0, out=st["kb_new"])
+                        np.multiply(st["kb_new"], hdc, out=tmp)
+                        np.subtract(r, tmp, out=r)
+                        np.multiply(
+                            lev["kb_diag"][:, :, None], st["u_own"], out=tmp
+                        )
+                        np.multiply(tmp, hdc, out=tmp)
+                        np.add(r, tmp, out=r)
+                        np.multiply(st["kb_prev"], hdc, out=tmp)
+                        np.add(r, tmp, out=r)
+                        st["kb_prev"], st["kb_new"] = (
+                            st["kb_new"], st["kb_prev"],
+                        )
+                    np.take(u_prev, own, axis=0, out=st["up_own"])
+                    np.multiply(
+                        lev["prev_coef"][:, :, None], st["up_own"], out=tmp
+                    )
+                    np.add(r, tmp, out=r)
+                    if live:
+                        np.take(fbuf, own, axis=0, out=tmp)
+                        np.multiply(tmp, lev["dtc2"], out=tmp)
+                        np.add(r, tmp, out=r)
+                    ncols = lev["B"].shape[1]
+                    spmv_into(
+                        lev["BT"],
+                        r.reshape(n_own, 3 * Bn),
+                        st["rbar"].reshape(ncols, 3 * Bn),
+                    )
+                    np.multiply(
+                        st["rbar"], lev["inv_A_bar"][:, :, None],
+                        out=st["rbar"],
+                    )
+                    spmv_into(
+                        lev["B"],
+                        st["rbar"].reshape(ncols, 3 * Bn),
+                        st["unew"].reshape(n_own, 3 * Bn),
+                    )
+                    if data is not None:
+                        for b in range(Bn):
+                            ridx, rpos = slots[b][li]
+                            if not len(ridx):
+                                continue
+                            if record == "velocity":
+                                data[b][ridx, :, j] = (
+                                    st["unew"][rpos, :, b]
+                                    - st["up_own"][rpos, :, b]
+                                ) / (2.0 * lev["dtc"])
+                            else:
+                                data[b][ridx, :, j] = st["u_own"][rpos, :, b]
+                    u_prev[own] = st["u_own"]
+                    u[own] = st["unew"]
+            flops = 0
+            for lev, st in zip(levels, rt):
+                per = lev["K"].flops_per_matmat(Bn)
+                if lev["Kb"] is not None:
+                    per += lev["Kb"].flops_per_matmat(Bn)
+                flops += st["fired"] * (per + 12 * len(lev["own"]) * Bn)
+            _run.add("flops", flops)
+            self.flops.add("stiffness", flops)
+        if recs is None:
+            return None
+        for b in range(Bn):
+            self._lts_fill_receiver_gaps(data[b], levels, slots[b], nsteps)
+        return [
+            Seismograms(
+                data=data[b], dt=dt, kind=record,
+                positions=recs[b].positions,
+            )
+            for b in range(Bn)
+        ]
+
     def run(
         self,
         forces: Callable[[float, np.ndarray], np.ndarray] | object,
@@ -200,6 +768,7 @@ class ElasticWaveSolver:
         resume: bool = False,
         faults=None,
         health_interval: int = DEFAULT_HEALTH_INTERVAL,
+        lts: int | bool | LTSPlan | None = None,
     ) -> Seismograms | None:
         """March the wave equation from rest to ``t_end``.
 
@@ -219,11 +788,31 @@ class ElasticWaveSolver:
         front; 0 disables both.  ``faults`` takes a
         :class:`~repro.resilience.FaultPlan` (state poisoning only in
         serial runs).
+
+        ``lts`` overrides the solver's clustered local-time-stepping
+        setting for this run (None = use the ``lts=`` knob from the
+        constructor).  A trivial plan — every element in the rate-1
+        cluster — falls back to this global loop, so ``lts`` enabled on
+        an unclustered model stays bitwise-identical to ``lts`` off.
+        Snapshot recorders and per-step callbacks need the full state
+        at every step and are not supported under LTS.
         """
+        plan, nsteps = self._lts_dispatch(lts, t_end)
+        if plan is not None:
+            if snapshots is not None or callback is not None:
+                raise ValueError(
+                    "snapshots/callback need the full state every step; "
+                    "run with lts=0 (they are unsupported under LTS)"
+                )
+            return self._run_lts(
+                forces, nsteps, plan,
+                receivers=receivers, record=record, checkpoint=checkpoint,
+                resume=resume, faults=faults,
+                health_interval=health_interval,
+            )
         dt = self.dt
         dt2 = dt * dt
         hd = 0.5 * dt
-        nsteps = int(np.ceil(t_end / dt))
         nnode = self.nnode
         m = self.m[:, None]
         m_alpha = self.m_alpha[:, None]
@@ -366,6 +955,7 @@ class ElasticWaveSolver:
         receivers: ReceiverArray | Sequence[ReceiverArray] | None = None,
         record: str = "velocity",
         callback: Callable[[int, float, np.ndarray], None] | None = None,
+        lts: int | bool | LTSPlan | None = None,
     ) -> list[Seismograms] | None:
         """March ``B = len(forces)`` scenarios at once from rest.
 
@@ -386,11 +976,20 @@ class ElasticWaveSolver:
         ``(nnode, 3, B)`` block.  Returns one :class:`Seismograms` per
         scenario (None without receivers).
         """
+        plan, nsteps = self._lts_dispatch(lts, t_end)
+        if plan is not None:
+            if callback is not None:
+                raise ValueError(
+                    "callback needs the full state every step; run with "
+                    "lts=0 (it is unsupported under LTS)"
+                )
+            return self._run_batch_lts(
+                forces, nsteps, plan, receivers=receivers, record=record
+            )
         Bn = len(forces)
         dt = self.dt
         dt2 = dt * dt
         hd = 0.5 * dt
-        nsteps = int(np.ceil(t_end / dt))
         nnode = self.nnode
         # broadcast the per-node/per-dof diagonals over the batch axis
         m = self.m[:, None, None]

@@ -53,6 +53,11 @@ class PerfReport:
         ``baseline / (nranks * parallel)``.
     metrics:
         Optional registry snapshot (``MetricsRegistry.as_dict()``).
+    lts:
+        Optional local-time-stepping summary: an
+        :meth:`repro.solver.lts.LTSPlan.as_dict` dict (histogram,
+        theoretical speedup), optionally extended with an
+        ``achieved_speedup`` measured against a global-dt run.
     title:
         Heading of the text rendering.
     """
@@ -64,6 +69,7 @@ class PerfReport:
     parallel_seconds: float | None = None
     nranks: int | None = None
     metrics: dict = field(default_factory=dict)
+    lts: dict | None = None
     title: str = "Performance report"
 
     # ------------------------------------------------------ construction
@@ -80,6 +86,7 @@ class PerfReport:
         parallel_seconds=None,
         nranks=None,
         metrics=None,
+        lts=None,
         title="Performance report",
     ) -> "PerfReport":
         """Build a report from live instrumentation objects.
@@ -137,6 +144,7 @@ class PerfReport:
             parallel_seconds=parallel_seconds,
             nranks=nranks,
             metrics=dict(metrics.as_dict()) if metrics is not None else {},
+            lts=dict(lts) if lts is not None else None,
             title=title,
         )
 
@@ -176,6 +184,7 @@ class PerfReport:
             "nranks": self.nranks,
             "efficiency": self.efficiency,
             "metrics": self.metrics,
+            "lts": self.lts,
         }
 
     def as_text(self) -> str:
@@ -234,6 +243,21 @@ class PerfReport:
                 f"{self.timeline.get('mean_step_imbalance', 0.0):.3f}   "
                 "overlap ratio "
                 f"{self.timeline.get('overlap_ratio', 0.0):.3f}"
+            )
+        if self.lts:
+            lines.append("")
+            hist = self.lts.get("histogram", {})
+            pairs = ", ".join(
+                f"{r}x: {n}"
+                for r, n in sorted(hist.items(), key=lambda kv: int(kv[0]))
+            )
+            lines.append(f"local time stepping  (clusters {pairs})")
+            theo = self.lts.get("theoretical_speedup")
+            ach = self.lts.get("achieved_speedup")
+            lines.append(
+                f"  speedup: theoretical {_fmt(theo, 7, 2)}x"
+                + (f"   achieved {_fmt(ach, 7, 2)}x" if ach is not None
+                   else "")
             )
         if self.efficiency is not None:
             lines.append("")

@@ -1,0 +1,504 @@
+"""Clustered local time stepping, end to end.
+
+The guarantees under test (see :mod:`repro.solver.lts` and DESIGN.md):
+
+* planning — power-of-two rate binning, the 2-to-1 neighbor invariant
+  after smoothing, hanging-node constraint closures clamped to one
+  rate, and the every-node-owned-once level partition;
+* ``lts=off`` (and a trivial plan) is **bitwise identical** to the
+  global-dt loops on every solver;
+* the clustered schedule agrees with the global-dt reference within
+  leapfrog accuracy on two-layer soft-over-stiff problems, serial
+  scalar, serial elastic, and distributed;
+* checkpoints are written only at sync boundaries and resume
+  bit-identically, serial and distributed;
+* both transports produce the same bits under LTS, ranks exchange
+  interface sums only at the interface rate, and a rank killed in the
+  middle of a coarse step recovers bit-identically from the last
+  collective sync checkpoint.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.materials import HomogeneousMaterial, LayeredMaterial
+from repro.mesh import extract_mesh, uniform_hex_mesh
+from repro.octree import build_adaptive_octree
+from repro.parallel import DistributedWaveSolver, ProcWorld, SimWorld
+from repro.resilience import (
+    FaultPlan,
+    FaultSpec,
+    NumericalHealthError,
+    RetryPolicy,
+)
+from repro.io.seismogram import ReceiverArray
+from repro.solver import (
+    ElasticWaveSolver,
+    RegularGridScalarWave,
+    bin_rates,
+    build_lts_plan,
+    constraint_groups,
+    smooth_rates,
+)
+from repro.solver.checkpoint import CheckpointManager
+from repro.solver.lts import interp_theta, node_rates
+
+#: soft basin (layer 0) over stiff bedrock below z = 875 m; the 8x
+#: wave-speed ratio pins the global dt 8x below what the basin needs
+LAYERED = LayeredMaterial(
+    [875.0], vs=[200.0, 1600.0], vp=[400.0, 3200.0], rho=[2000.0, 2000.0]
+)
+
+
+class RickerForce:
+    """Picklable vertical point Ricker wavelet (worker processes
+    unpickle it by value; the width is chosen per-problem so even the
+    coarsest cluster resolves it)."""
+
+    def __init__(self, node: int, nnode: int, t0: float, sig: float):
+        self.node = node
+        self.nnode = nnode
+        self.t0 = t0
+        self.sig = sig
+
+    def __call__(self, t, out=None):
+        b = np.zeros((self.nnode, 3)) if out is None else out
+        b.fill(0.0)
+        a = (t - self.t0) / self.sig
+        b[self.node, 2] = 1e9 * (1.0 - 2.0 * a * a) * np.exp(-a * a)
+        return b
+
+
+# ------------------------------------------------------------- planning
+
+
+def test_bin_rates_power_of_two():
+    rates = bin_rates([1.0, 1.9, 2.0, 4.0, 100.0], max_rate=8)
+    assert rates.tolist() == [1, 1, 2, 4, 8]
+    # relative to the minimum: a common safety factor cancels
+    assert np.array_equal(
+        rates, bin_rates([0.5, 0.95, 1.0, 2.0, 50.0], max_rate=8)
+    )
+
+
+def test_bin_rates_validates_inputs():
+    with pytest.raises(ValueError, match="power of two"):
+        bin_rates([1.0, 2.0], max_rate=3)
+    with pytest.raises(ValueError, match="empty"):
+        bin_rates([])
+
+
+def test_smooth_rates_two_to_one_invariant():
+    # a rough random stable-dt field on a 2D grid: after smoothing no
+    # element may run at more than twice the rate of any node it touches
+    grid = RegularGridScalarWave((16, 12), 1.0, rho=1.0)
+    rng = np.random.default_rng(7)
+    elem_dt = np.exp(rng.uniform(0.0, 5.0, grid.nelem))
+    rates = smooth_rates(grid.conn, bin_rates(elem_dt), grid.nnode)
+    nmin = node_rates(grid.conn, rates, grid.nnode)
+    assert np.all(rates <= 2 * nmin[grid.conn].min(axis=1))
+    # smoothing only ever lowers rates
+    assert np.all(rates <= bin_rates(elem_dt))
+
+
+def test_constraint_groups_connected_components():
+    groups = constraint_groups(
+        {5: {1: 0.5, 2: 0.5}, 6: {2: 0.5, 3: 0.5}, 9: {7: 1.0}}
+    )
+    members = sorted(g.tolist() for g in groups)
+    assert members == [[1, 2, 3, 5, 6], [7, 9]]
+
+
+def test_smooth_rates_clamps_groups_to_common_rate():
+    grid = RegularGridScalarWave((8, 8), 1.0, rho=1.0)
+    elem_dt = np.ones(grid.nelem)
+    elem_dt[: grid.nelem // 2] = 16.0
+    group = np.array([0, grid.nnode - 1])  # opposite corners
+    rates = smooth_rates(
+        grid.conn, bin_rates(elem_dt), grid.nnode, groups=[group]
+    )
+    nmin = node_rates(grid.conn, rates, grid.nnode, groups=[group])
+    assert nmin[group[0]] == nmin[group[1]]
+
+
+def test_plan_levels_partition_nodes():
+    grid = RegularGridScalarWave((16, 8), 1.0, rho=1.0)
+    elem_dt = np.where(
+        grid.elem_centers()[:, 1] > 6.0, 1.0, 8.0
+    )
+    plan = build_lts_plan(grid.conn, grid.nnode, dt=0.1, elem_dt=elem_dt)
+    assert not plan.trivial
+    # levels are coarsest-first and every node is owned exactly once
+    lv_rates = [lv.rate for lv in plan.levels]
+    assert lv_rates == sorted(lv_rates, reverse=True)
+    assert sum(len(lv.own_nodes) for lv in plan.levels) == grid.nnode
+    assert sum(plan.histogram().values()) == grid.nelem
+    assert plan.theoretical_speedup() > 1.0
+    # sync boundaries are the multiples of the coarsest rate
+    r = plan.max_rate
+    assert plan.sync_boundary(0) and plan.sync_boundary(3 * r)
+    assert not plan.sync_boundary(r - 1)
+
+
+def test_trivial_plan_on_uniform_material():
+    grid = RegularGridScalarWave((8, 8), 1.0, rho=1.0)
+    plan = build_lts_plan(
+        grid.conn, grid.nnode, dt=0.1, elem_dt=np.ones(grid.nelem)
+    )
+    assert plan.trivial
+    assert plan.theoretical_speedup() == 1.0
+
+
+def test_interp_theta_brackets():
+    # right after a coarse update theta = 0; at the half substep 1/2
+    for r in (1, 2, 4):
+        assert interp_theta(0, r) == 0.0
+        assert interp_theta(r, r) == 0.5
+        assert interp_theta(2 * r, r) == 0.0
+
+
+# ------------------------------------------------------- scalar solver
+
+
+def _scalar_two_layer(shape=(64, 32), nsteps=128):
+    solver = RegularGridScalarWave(shape, 1.0, rho=1.0)
+    v = np.where(solver.elem_centers()[:, 1] > 0.875 * shape[1], 8.0, 1.0)
+    mu = v * v
+    dt = solver.stable_dt(mu, safety=0.5)
+    src = solver.node_index((shape[0] // 2, shape[1] // 4))
+    buf = np.zeros(solver.nnode)
+
+    def forcing(k):
+        # wide enough that even the coarsest cluster resolves it
+        t = k * dt
+        a = (t - 0.45 * nsteps * dt) / (0.18 * nsteps * dt)
+        buf[src] = dt * dt * (1.0 - 2.0 * a * a) * np.exp(-a * a)
+        return buf
+
+    return solver, mu, dt, forcing
+
+
+def test_scalar_trivial_plan_bitwise():
+    solver, _, dt, forcing = _scalar_two_layer()
+    mu = np.full(solver.nelem, 4.0)  # uniform -> trivial plan
+    a = solver.march(mu, forcing, 128, dt, store=False)
+    b = solver.march(mu, forcing, 128, dt, store=False, lts=True)
+    assert np.array_equal(a, b)
+
+
+def test_scalar_lts_matches_global_within_leapfrog_accuracy():
+    solver, mu, dt, forcing = _scalar_two_layer()
+    plan = solver.lts_plan(mu)
+    assert plan.max_rate == 8  # the 8x speed ratio shows up as clusters
+    ref = solver.march(mu, forcing, 128, dt, store=False)
+    out = solver.march(mu, forcing, 128, dt, store=False, lts=True)
+    ref_n = np.linalg.norm(ref[1])
+    assert ref_n > 0
+    assert np.linalg.norm(out[1] - ref[1]) / ref_n < 0.1
+
+
+def test_scalar_lts_checkpoint_resume_bitwise(tmp_path):
+    solver, mu, dt, forcing = _scalar_two_layer()
+    ref = solver.march(mu, forcing, 128, dt, store=False, lts=True)
+    mgr = CheckpointManager(str(tmp_path), interval=48)
+    full = solver.march(
+        mu, forcing, 128, dt, store=False, lts=True, checkpoint=mgr
+    )
+    assert np.array_equal(full, ref)
+    # snapshots land only on sync boundaries (multiples of max_rate)
+    assert mgr.steps()
+    assert all((s + 1) % 8 == 0 for s in mgr.steps())
+    resumed = solver.march(
+        mu, forcing, 128, dt, store=False, lts=True,
+        checkpoint=mgr, resume=True,
+    )
+    assert np.array_equal(resumed, ref)
+
+
+def test_scalar_lts_rejects_history_and_unsynced_nsteps():
+    solver, mu, dt, forcing = _scalar_two_layer()
+    with pytest.raises(ValueError, match="store"):
+        solver.march(mu, forcing, 128, dt, store=True, lts=True)
+    plan = solver.lts_plan(mu)
+    with pytest.raises(ValueError, match="multiple of the coarsest"):
+        solver.march(
+            mu, forcing, plan.max_rate * 3 + 1, dt, store=False, lts=plan
+        )
+
+
+def test_scalar_lts_batch_matches_solo():
+    solver, mu, dt, forcing = _scalar_two_layer(shape=(32, 16), nsteps=64)
+    solo = solver.march(mu, forcing, 64, dt, store=False, lts=True)
+
+    def forcing2(k):
+        f = forcing(k)
+        return np.stack([f, 0.5 * f], axis=1)
+
+    pair = solver.march(
+        mu, forcing2, 64, dt, store=False, lts=True, batch=2
+    )
+    assert np.array_equal(pair[:, :, 0], solo)
+
+
+# ------------------------------------------------------ elastic solver
+
+
+def _elastic_layered(n=8, *, damping_ratio=0.0):
+    tree = build_adaptive_octree(
+        lambda c, s: np.full(len(c), 1.0 / n), max_level=4
+    )
+    mesh = extract_mesh(tree, L=1000.0)
+    solver = ElasticWaveSolver(
+        mesh, tree, LAYERED, damping_ratio=damping_ratio
+    )
+    # shallow source in the soft (coarsest-cluster) basin, receivers
+    # right above it: arrivals land well inside the marched window, and
+    # the wavelet is wide enough for the rate-8 cluster to resolve
+    src = int(
+        np.argmin(
+            np.linalg.norm(
+                mesh.coords - np.array([500.0, 500.0, 125.0]), axis=1
+            )
+        )
+    )
+    force = RickerForce(
+        src, mesh.nnode, t0=52 * solver.dt, sig=20 * solver.dt
+    )
+    rec = ReceiverArray(
+        mesh, np.array([[500.0, 500.0, 0.0], [375.0, 375.0, 0.0]])
+    )
+    return mesh, solver, force, rec
+
+
+def test_elastic_plan_clusters_the_basin():
+    _, solver, _, _ = _elastic_layered()
+    plan = solver.lts_plan()
+    assert plan.max_rate == 8
+    hist = plan.histogram()
+    # the soft basin (7/8 of the elements) runs at the coarsest rate
+    assert hist[8] > sum(n for r, n in hist.items() if r < 8)
+
+
+def test_elastic_lts_off_bitwise_on_uniform_material():
+    n = 4
+    tree = build_adaptive_octree(
+        lambda c, s: np.full(len(c), 1.0 / n), max_level=4
+    )
+    mesh = extract_mesh(tree, L=1000.0)
+    mat = HomogeneousMaterial(vs=1000.0, vp=1800.0, rho=2000.0)
+    solver = ElasticWaveSolver(mesh, tree, mat)
+    force = RickerForce(
+        mesh.nnode // 2, mesh.nnode, t0=10 * solver.dt, sig=4 * solver.dt
+    )
+    rec = ReceiverArray(mesh, np.array([[250.0, 250.0, 0.0]]))
+    t_end = 23.5 * solver.dt
+    ref = solver.run(force, t_end, receivers=rec)
+    # uniform material -> trivial plan -> the global loop runs, bit
+    # for bit, even with lts requested
+    out = solver.run(force, t_end, receivers=rec, lts=True)
+    assert np.array_equal(out.data, ref.data)
+
+
+def test_elastic_lts_matches_global_within_leapfrog_accuracy():
+    _, solver, force, rec = _elastic_layered()
+    nsteps = 128
+    t_end = (nsteps - 0.5) * solver.dt
+    # displacement records: velocity would add a central-difference
+    # penalty over the coarse cluster step on top of the scheme error
+    ref = solver.run(force, t_end, receivers=rec, record="displacement")
+    out = solver.run(
+        force, t_end, receivers=rec, record="displacement", lts=True
+    )
+    n = min(ref.data.shape[-1], out.data.shape[-1])
+    ref_n = np.linalg.norm(ref.data[..., :n])
+    assert ref_n > 0
+    err = np.linalg.norm(out.data[..., :n] - ref.data[..., :n]) / ref_n
+    assert err < 0.1
+
+
+def test_elastic_lts_checkpoint_resume_bitwise(tmp_path):
+    # Rayleigh damping on: the per-level damping matvec cache rides
+    # along in the snapshot and must restore bit-identically
+    _, solver, force, rec = _elastic_layered(damping_ratio=0.02)
+    nsteps = 128
+    t_end = (nsteps - 0.5) * solver.dt
+    ref = solver.run(force, t_end, receivers=rec, lts=8)
+    mgr = CheckpointManager(str(tmp_path), interval=48)
+    full = solver.run(
+        force, t_end, receivers=rec, lts=8, checkpoint=mgr
+    )
+    assert np.array_equal(full.data, ref.data)
+    assert all((s + 1) % 8 == 0 for s in mgr.steps())
+    resumed = solver.run(
+        force, t_end, receivers=rec, lts=8, checkpoint=mgr, resume=True
+    )
+    assert np.array_equal(resumed.data, ref.data)
+
+
+def test_elastic_lts_batch_matches_solo():
+    mesh, solver, force, rec = _elastic_layered()
+    force2 = RickerForce(
+        mesh.nnode // 3, mesh.nnode, t0=52 * solver.dt, sig=20 * solver.dt
+    )
+    t_end = 63.5 * solver.dt
+    solo = [
+        solver.run(f, t_end, receivers=rec, lts=True)
+        for f in (force, force2)
+    ]
+    batch = solver.run_batch([force, force2], t_end, receivers=rec, lts=True)
+    for got, want in zip(batch, solo):
+        assert np.array_equal(got.data, want.data)
+
+
+# --------------------------------------------------------- distributed
+
+
+def _dist_lts_problem():
+    """Two ranks split across the soft basin: the cut sits inside the
+    coarse region, so ranks exchange only at the interface rate."""
+    mesh = uniform_hex_mesh(4, L=1000.0)
+    parts = (mesh.elem_centers[:, 2] > 500.0).astype(np.int64)
+    src = int(
+        np.argmin(
+            np.linalg.norm(
+                mesh.coords - np.array([500.0, 500.0, 250.0]), axis=1
+            )
+        )
+    )
+    return mesh, parts, src
+
+
+def _dist_force(mesh, src, dt):
+    return RickerForce(src, mesh.nnode, t0=20 * dt, sig=8 * dt)
+
+
+def test_dist_lts_sim_vs_proc_bitwise():
+    mesh, parts, src = _dist_lts_problem()
+    sim = SimWorld(2)
+    solver = DistributedWaveSolver(mesh, LAYERED, parts, sim, lts=8)
+    force = _dist_force(mesh, src, solver.dt)
+    t_end = 47.5 * solver.dt
+    u_sim = solver.run(force, t_end)
+    stats_sim = [s.as_tuple() for s in sim.stats]
+    with ProcWorld(2) as proc:
+        solver = DistributedWaveSolver(mesh, LAYERED, parts, proc, lts=8)
+        u_proc = solver.run(force, t_end)
+        stats_proc = [s.as_tuple() for s in proc.stats]
+    assert np.abs(u_sim).max() > 0
+    assert np.array_equal(u_sim, u_proc)
+    assert stats_sim == stats_proc
+
+
+def test_dist_lts_exchanges_only_at_interface_rate():
+    mesh, parts, src = _dist_lts_problem()
+    sim_g = SimWorld(2)
+    solver = DistributedWaveSolver(mesh, LAYERED, parts, sim_g)
+    force = _dist_force(mesh, src, solver.dt)
+    t_end = 47.5 * solver.dt
+    u_global = solver.run(force, t_end)
+    msgs_global = sum(s.as_tuple()[0] for s in sim_g.stats)
+
+    sim_l = SimWorld(2)
+    solver = DistributedWaveSolver(mesh, LAYERED, parts, sim_l, lts=8)
+    u_lts = solver.run(force, t_end)
+    msgs_lts = sum(s.as_tuple()[0] for s in sim_l.stats)
+
+    # the cut lies in rate >= 2 territory: at most half the handoffs
+    # (plus the fixed setup messages) of the per-step global loop
+    assert msgs_lts < msgs_global
+    assert msgs_lts <= msgs_global // 2 + 8
+    # and the clustered trajectory still tracks the global-dt one
+    ref_n = np.linalg.norm(u_global)
+    assert ref_n > 0
+    assert np.linalg.norm(u_lts - u_global) / ref_n < 0.2
+
+
+def test_dist_lts_resume_bit_identical(tmp_path):
+    mesh, parts, src = _dist_lts_problem()
+    solver = DistributedWaveSolver(mesh, LAYERED, parts, SimWorld(2), lts=8)
+    force = _dist_force(mesh, src, solver.dt)
+    t_end = 47.5 * solver.dt
+    u_ref = solver.run(force, t_end)
+
+    d = str(tmp_path)
+    solver = DistributedWaveSolver(mesh, LAYERED, parts, SimWorld(2), lts=8)
+    u_full = solver.run(
+        force, t_end, checkpoint_dir=d, checkpoint_every=20
+    )
+    assert np.array_equal(u_full, u_ref)
+    solver = DistributedWaveSolver(mesh, LAYERED, parts, SimWorld(2), lts=8)
+    u = solver.run(force, t_end, checkpoint_dir=d, resume=True)
+    assert np.array_equal(u, u_ref)
+
+
+def test_proc_lts_kill_mid_coarse_step_recovers_bitwise(tmp_path):
+    mesh, parts, src = _dist_lts_problem()
+    with ProcWorld(2) as clean:
+        solver = DistributedWaveSolver(mesh, LAYERED, parts, clean, lts=8)
+        force = _dist_force(mesh, src, solver.dt)
+        t_end = 47.5 * solver.dt
+        u_ref = solver.run(force, t_end)
+
+    # step 18 is not a sync boundary: the kill lands in the middle of a
+    # coarse step, and recovery rewinds to the last sync checkpoint
+    plan = FaultPlan([FaultSpec("kill", rank=1, step=18)])
+    with ProcWorld(2) as world:
+        solver = DistributedWaveSolver(mesh, LAYERED, parts, world, lts=8)
+        u = solver.run(
+            force, t_end, checkpoint_dir=str(tmp_path), checkpoint_every=8,
+            faults=plan, retry=RetryPolicy(backoff=0.0),
+        )
+        assert world.respawns == 1
+        assert np.array_equal(u, u_ref)
+
+
+# ------------------------------------------ CI fault-injection matrix
+
+
+def test_env_fault_matrix_lts(tmp_path):
+    """The ``lts=on`` cell of the CI fault matrix: ``REPRO_FAULTS``
+    picks the fault, ``REPRO_FAULT_TRANSPORT`` the transport.  Defaults
+    exercise a mid-coarse-step kill on the process transport."""
+    plan = FaultPlan.from_env() or FaultPlan.parse("kill:rank=1,step=18")
+    transport = os.environ.get("REPRO_FAULT_TRANSPORT", "proc")
+    kinds = {s.kind for s in plan.specs}
+    mesh, parts, src = _dist_lts_problem()
+
+    if transport == "sim":
+        if kinds - {"nan"}:
+            pytest.skip("kill/channel faults need the process transport")
+        solver = DistributedWaveSolver(
+            mesh, LAYERED, parts, SimWorld(2), lts=8
+        )
+        force = _dist_force(mesh, src, solver.dt)
+        with pytest.raises(NumericalHealthError):
+            solver.run(
+                force, 47.5 * solver.dt, faults=plan, health_interval=1
+            )
+        return
+
+    with ProcWorld(2) as clean:
+        solver = DistributedWaveSolver(mesh, LAYERED, parts, clean, lts=8)
+        force = _dist_force(mesh, src, solver.dt)
+        t_end = 47.5 * solver.dt
+        u_ref = solver.run(force, t_end)
+    if "nan" in kinds:
+        # mirror NaN faults onto every rank so no peer blocks on a
+        # failed one (they only fire at shared sync boundaries)
+        plan = FaultPlan(
+            [
+                FaultSpec("nan", rank=r, step=s.step)
+                for s in plan.specs
+                for r in range(2)
+            ]
+        )
+    with ProcWorld(2, timeout=5.0) as world:
+        solver = DistributedWaveSolver(mesh, LAYERED, parts, world, lts=8)
+        u = solver.run(
+            force, t_end, checkpoint_dir=str(tmp_path), checkpoint_every=8,
+            faults=plan, health_interval=1, retry=RetryPolicy(backoff=0.0),
+        )
+        assert world.respawns >= 1
+        assert np.array_equal(u, u_ref)
