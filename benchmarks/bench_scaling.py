@@ -58,6 +58,16 @@ MAT = HomogeneousMaterial(vs=1000.0, vp=1800.0, rho=2000.0)
 L = 1000.0
 
 
+def effective_cpu_count() -> int:
+    """Cores this process may actually schedule on — the CPU affinity
+    mask when the platform exposes one (containers routinely pin fewer
+    cores than ``os.cpu_count()`` reports), else ``os.cpu_count()``."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
 class PointForce:
     """Picklable Gaussian point force (worker processes need to
     unpickle the force function)."""
@@ -156,6 +166,7 @@ def main(argv=None) -> dict:
         meas = measure_transport(w2)
     machine = machine_from_measurements(meas, flop_rate=flop_rate)
 
+    ncores = effective_cpu_count()
     rows = []
     for nw in worker_counts:
         parts = (
@@ -178,6 +189,10 @@ def main(argv=None) -> dict:
         rows.append(
             {
                 "workers": nw,
+                "cpu_count": ncores,
+                # more workers than schedulable cores: the speedup
+                # column measures overhead, not scaling
+                "oversubscribed": nw > ncores,
                 "sim_seconds": sim_s,
                 "proc_seconds": proc_s,
                 "speedup_vs_serial": serial_s / proc_s,
@@ -198,6 +213,7 @@ def main(argv=None) -> dict:
             f"P={nw:2d}  serial {serial_s:7.3f}s  sim {sim_s:7.3f}s  "
             f"proc {proc_s:7.3f}s  speedup {serial_s / proc_s:5.2f}x  "
             f"rel err {err:.2e}"
+            + ("  [oversubscribed]" if nw > ncores else "")
         )
 
     result = {
@@ -209,6 +225,7 @@ def main(argv=None) -> dict:
             "dt": dt,
         },
         "cpu_count": os.cpu_count(),
+        "effective_cpu_count": ncores,
         "smoke": bool(args.smoke),
         "serial_seconds": serial_s,
         "flop_rate": flop_rate,

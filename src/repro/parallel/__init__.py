@@ -26,7 +26,12 @@ from repro.parallel.transport import (
     WorkerFailure,
     measure_transport,
 )
-from repro.parallel.decomposition import DistributedElasticOperator
+from repro.parallel.decomposition import (
+    DistributedElasticOperator,
+    FusedHalo,
+    FusedHaloSet,
+    HaloPerspective,
+)
 from repro.parallel.dist_solver import (
     DistributedWaveSolver,
     recommend_sharding,
@@ -35,6 +40,7 @@ from repro.parallel.perfmodel import (
     MachineModel,
     ALPHASERVER_ES45,
     ScalabilityRow,
+    choose_steps_per_exchange,
     machine_from_measurements,
     predict_scalability,
 )
@@ -49,11 +55,15 @@ __all__ = [
     "WorkerFailure",
     "measure_transport",
     "DistributedElasticOperator",
+    "FusedHalo",
+    "FusedHaloSet",
+    "HaloPerspective",
     "DistributedWaveSolver",
     "recommend_sharding",
     "MachineModel",
     "ALPHASERVER_ES45",
     "ScalabilityRow",
+    "choose_steps_per_exchange",
     "machine_from_measurements",
     "predict_scalability",
 ]

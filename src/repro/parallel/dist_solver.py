@@ -356,6 +356,8 @@ def _rank_program_lts(comm, payload):
                 for o, loc in neighbors:
                     Ku[loc] += rbuf[o]
                     comm.add_flops(3 * len(loc))
+                if neighbors:
+                    comm.stats.exchanges += 1
                 _lts_level_update(lev, u, u_prev, Ku, b)
                 wait_j += (t2 - t1) + (t4 - t3)
                 if dur is not None:
@@ -509,6 +511,8 @@ def _rank_program(comm, payload):
         for o, loc in neighbors:
             Ku[loc] += rbuf[o]
             comm.add_flops(3 * len(loc))
+        if neighbors:
+            comm.stats.exchanges += 1
         _local_update(
             Ku, tmp, u, u_prev, u_next, m2, inv_A, prev_coef, b, dt2
         )
@@ -539,6 +543,241 @@ def _rank_program(comm, payload):
     del res  # drop the exported view before closing the mapping
     shm.close()
     out = {"t_compute": t_compute, "t_wait": t_wait, "nsteps": nsteps}
+    if tl is not None:
+        out["timeline"] = tl.to_payload()
+    return out
+
+
+def _fused_build_state(p, dt):
+    """Per-rank execution state for the fused (communication-avoiding)
+    window march, built from the payload's perspective descriptions.
+    Shared by the in-process and worker-process paths so the per-rank
+    arithmetic is bit-identical across transports.
+
+    The own perspective gets the identical split operator and hoisted
+    update coefficients as the one-step-per-exchange program (same
+    expressions over the same slices), so its floating-point sequence
+    is structurally — not just empirically — the k=1 sequence.  Ghost
+    perspectives are plain (unsplit) operators over the owner-ordered
+    halo element subsets; their per-node partial sums accumulate in the
+    owner's ascending slot order, which is what keeps the replicated
+    arithmetic bitwise-equal to what the owner itself computes.
+    """
+    persps = {}
+    for q in p["perspectives"]:
+        n = q["nloc"]
+        m, C = q["m"], q["C"]
+        op = ElasticOperator(
+            q["conn"], q["h"], q["lam"], q["mu"], n,
+            split_elems=q["n_iface"] if q["own"] else None,
+        )
+        persps[q["owner"]] = {
+            "own": q["own"],
+            "op": op,
+            "gnodes": q["gnodes"],
+            "m2": 2.0 * m,
+            "inv_A": 1.0 / (m + 0.5 * dt * C),
+            "prev_coef": -m + 0.5 * dt * C,
+            "u": np.zeros((n, 3)),
+            "u_prev": np.zeros((n, 3)),
+            "u_next": np.zeros((n, 3)),
+            "Ku": np.empty((n, 3)),
+            "tmp": np.empty((n, 3)),
+        }
+    adds = [
+        (dst, src, di, si, np.empty((len(di), 3)))
+        for (dst, src, di, si) in p["adds"]
+    ]
+    sends = [
+        (dest, idx, np.empty((2, len(idx), 3)))
+        for dest, idx in p["sends"]
+    ]
+    recvs = [
+        (o, np.empty((2, len(persps[o]["u"]), 3)))
+        for o in sorted(persps)
+        if not persps[o]["own"]
+    ]
+    own = next(q for q in persps.values() if q["own"])
+    return {
+        "persps": persps,
+        "adds": adds,
+        "sends": sends,
+        "recvs": recvs,
+        "own": own,
+        "dt2": dt * dt,
+    }
+
+
+def _fused_march_step(state, b_global, add_flops):
+    """One fused inner step: every perspective applies its stiffness
+    operator, boundary partial sums cross between perspectives (the
+    in-halo replica of the unfused transport exchange), every
+    perspective updates and rotates.
+
+    The partial-sum snapshot (``np.take`` into per-add buffers) must
+    complete for *all* adds before any is applied — the unfused
+    exchange ships pre-accumulation partials, so a perspective's ``Ku``
+    may not be mutated while another perspective still reads from it.
+    Applies are grouped by destination with ascending source, the exact
+    neighbor order of the unfused receive loop.
+    """
+    persps = state["persps"]
+    dt2 = state["dt2"]
+    for q in persps.values():
+        op = q["op"]
+        if q["own"]:
+            op.matvec_interface(q["u"], q["Ku"])
+            op.matvec_interior_acc(q["u"], q["Ku"])
+        else:
+            op.matvec(q["u"], out=q["Ku"])
+        add_flops(op.flops_per_matvec)
+    for _, src, _, si, buf in state["adds"]:
+        np.take(persps[src]["Ku"], si, axis=0, out=buf)
+    for dst, _, di, _, buf in state["adds"]:
+        persps[dst]["Ku"][di] += buf
+        add_flops(3 * len(di))
+    for q in persps.values():
+        b = b_global[q["gnodes"]] if b_global is not None else None
+        _local_update(
+            q["Ku"], q["tmp"], q["u"], q["u_prev"], q["u_next"],
+            q["m2"], q["inv_A"], q["prev_coef"], b, dt2,
+        )
+        q["u_prev"], q["u"], q["u_next"] = q["u"], q["u_next"], q["u_prev"]
+        add_flops(15 * len(q["u"]))
+
+
+def _rank_program_fused(comm, payload):
+    """SPMD rank program for communication-avoiding stepping: march
+    ``k`` leapfrog steps per transport round-trip inside a persistent
+    worker.
+
+    Each window starts with one aggregated refresh per directed halo
+    pair — the owner's ``[u; u_prev]`` restacked at the requester's
+    replica nodes — replacing the ``k`` per-step boundary exchanges of
+    :func:`_rank_program`; the window then marches entirely locally,
+    recomputing the ghost perspectives redundantly.  The owned region
+    stays bitwise-identical to the unfused loop (errors at the halo
+    fringe advance one element ring per step and the halo is ``k``
+    rings deep).
+
+    Checkpoints, NaN poisoning, and health checks happen only at
+    window boundaries — the only steps where the rank's own state is
+    globally consistent — with the same quotient-advance cadence rule
+    the LTS program uses, so collective-restart recovery works
+    unchanged; fault kill hooks still fire at every inner step, and a
+    mid-window kill rewinds to the last boundary checkpoint.
+    """
+    p = payload
+    k = int(p["k"])
+    dt, nsteps = p["dt"], p["nsteps"]
+    state = _fused_build_state(p, dt)
+    own = state["own"]
+    force_fn = _make_force_caller(p["force_fn"], p["result"][1])
+    rank = comm.rank
+    clock = time.perf_counter
+    t_compute = 0.0
+    t_wait = 0.0
+    tl = RankTimeline(rank, nsteps) if p.get("timeline") else None
+    dur = tl.durations if tl is not None else None
+
+    mgr = None
+    ckpt_every = int(p.get("ckpt_every", 0) or 0)
+    if p.get("ckpt_dir"):
+        mgr = CheckpointManager(
+            p["ckpt_dir"], ckpt_every,
+            keep=p.get("ckpt_keep", 3), prefix=f"rank{rank}",
+        )
+    k0 = 0
+    resume_step = p.get("resume_step")
+    if mgr is not None and resume_step is not None:
+        ck = mgr.load_step(resume_step)
+        own["u_prev"][:] = ck.arrays["u_prev"]
+        own["u"][:] = ck.arrays["u"]
+        k0 = int(ck.meta["next_k"])
+        if k0 % k and k0 != nsteps:
+            raise ValueError(
+                f"fused resume index {k0} is not an exchange boundary "
+                f"(steps_per_exchange {k})"
+            )
+    last_saved = k0
+    fplan = p.get("faults")
+    health_interval = int(p.get("health_interval", 0))
+    world = comm.world
+    if fplan is not None and hasattr(world, "fault_plan"):
+        world.fault_plan = fplan  # send-path faults (drop/delay/corrupt)
+
+    for s0 in range(k0, nsteps, k):
+        if fplan is not None:
+            fplan.on_step_begin(rank, s0)
+            if hasattr(world, "fault_step"):
+                world.fault_step = s0  # sends only happen at s0
+        comm.heartbeat(s0)
+        # window-start refresh: every perspective's full restart pair,
+        # one message per directed halo pair (also runs at step 0 and
+        # after a resume, so ghosts never start stale)
+        t1 = clock()
+        for dest, idx, sbuf in state["sends"]:
+            np.take(own["u"], idx, axis=0, out=sbuf[0])
+            np.take(own["u_prev"], idx, axis=0, out=sbuf[1])
+            comm.Send(sbuf, dest, tag=rank)
+        t2 = clock()
+        for o, rbuf in state["recvs"]:
+            comm.Recv(o, tag=o, out=rbuf)
+            q = state["persps"][o]
+            q["u"][:] = rbuf[0]
+            q["u_prev"][:] = rbuf[1]
+        t3 = clock()
+        if state["sends"] or state["recvs"]:
+            comm.stats.exchanges += 1
+        t_wait += t3 - t1
+        if dur is not None:
+            dur[s0, 1] = t2 - t1  # send
+            dur[s0, 3] = t3 - t2  # recv
+        s_end = min(s0 + k, nsteps)
+        for s in range(s0, s_end):
+            if fplan is not None and s != s0:
+                fplan.on_step_begin(rank, s)
+            comm.heartbeat(s)
+            tA = clock()
+            b_global = force_fn(s * dt)
+            _fused_march_step(state, b_global, comm.add_flops)
+            tB = clock()
+            t_compute += tB - tA
+            if dur is not None:
+                dur[s, 0] += tB - tA
+        # window boundary: own u holds x^{s_end} exactly
+        if fplan is not None:
+            fplan.poison_state(rank, s_end - 1, own["u"])
+        if health_interval and should_check(
+            s_end - 1, nsteps, health_interval
+        ):
+            check_finite(own["u"], step=s_end - 1, rank=rank, field="u")
+        if (
+            mgr is not None
+            and ckpt_every > 0
+            and s_end // ckpt_every > last_saved // ckpt_every
+        ):
+            mgr.save(
+                s_end - 1,
+                {"u_prev": own["u_prev"], "u": own["u"]},
+                {"next_k": s_end, "fused_k": k},
+            )
+            last_saved = s_end
+
+    if fplan is not None and hasattr(world, "fault_plan"):
+        world.fault_plan = None
+
+    name, nnode_global = p["result"]
+    shm, res = attach_shared_array(name, (nnode_global, 3))
+    res[p["gather_nodes"]] = own["u"][p["gather_local"]]
+    del res  # drop the exported view before closing the mapping
+    shm.close()
+    out = {
+        "t_compute": t_compute,
+        "t_wait": t_wait,
+        "nsteps": nsteps,
+        "fused_k": k,
+    }
     if tl is not None:
         out["timeline"] = tl.to_payload()
     return out
@@ -645,6 +884,7 @@ class DistributedWaveSolver:
         dt: float | None = None,
         cfl_safety: float = 0.5,
         lts: int | bool = 0,
+        steps_per_exchange: int | str = 1,
     ):
         if len(np.unique(mesh.elem_level)) > 1:
             raise ValueError(
@@ -689,6 +929,15 @@ class DistributedWaveSolver:
         #: ``True`` = on with the default rate cap, an int = the cap)
         self.lts = lts
         self._lts_cache: tuple | None = None
+        #: default fusion depth for :meth:`run` (``1`` = exchange every
+        #: step — the classic loop — or ``"auto"`` to let the measured
+        #: alpha-beta-gamma model pick); see
+        #: :meth:`recommend_steps_per_exchange`
+        self.steps_per_exchange = steps_per_exchange
+        #: what the most recent :meth:`run` actually fused: requested
+        #: and effective ``steps_per_exchange``, any clamp reason, and
+        #: the model's per-candidate times when auto-chosen
+        self.last_fused: dict | None = None
         #: merged per-rank timeline of the most recent :meth:`run`,
         #: populated when telemetry is enabled at run time
         self.last_timeline: MergedTimeline | None = None
@@ -763,6 +1012,7 @@ class DistributedWaveSolver:
         health_interval: int = 0,
         retry: RetryPolicy | None = None,
         lts: int | bool | None = None,
+        steps_per_exchange: int | str | None = None,
     ) -> np.ndarray:
         """March to ``t_end``; ``force_fn(t)`` returns the *global*
         nodal force field (each rank reads its slice, as if the sources
@@ -794,6 +1044,19 @@ class DistributedWaveSolver:
         the next sync boundary.  ``lts=off`` runs the global-dt loop
         bit-identically to before; a clustered run returns the state at
         the (possibly later) rounded end time.
+
+        ``steps_per_exchange`` (default: the constructor setting) turns
+        on communication-avoiding fused stepping: with ``k > 1`` each
+        rank holds a ``k``-ring ghost halo and marches ``k`` steps per
+        aggregated exchange, trading redundant halo recompute for a
+        ``k``-fold cut in message count — bitwise-identical on the
+        owned region.  ``"auto"`` lets the measured alpha-beta-gamma
+        model pick ``k`` (see :meth:`recommend_steps_per_exchange`).
+        ``k`` is clamped to 1 under a non-trivial ``lts`` plan (the
+        clustered rates own the exchange cadence) and when no rank has
+        neighbors; checkpoints land only on exchange boundaries.
+        ``steps_per_exchange=1`` runs the exact per-step loop as
+        before.
         """
         nsteps = int(np.ceil(t_end / self.dt))
         if health_interval:
@@ -806,12 +1069,57 @@ class DistributedWaveSolver:
             if not c["trivial"]:
                 ctx = c
                 nsteps = -(-nsteps // c["r_sync"]) * c["r_sync"]
+        spe = (
+            self.steps_per_exchange
+            if steps_per_exchange is None
+            else steps_per_exchange
+        )
+        auto_times = None
+        if spe == "auto":
+            k_fused, auto_times = self.recommend_steps_per_exchange(
+                nsteps=nsteps
+            )
+        else:
+            k_fused = int(spe)
+            if k_fused < 1:
+                raise ValueError(
+                    f"steps_per_exchange must be >= 1, got {k_fused}"
+                )
+        fallback = None
+        if k_fused > 1 and ctx is not None:
+            # clustered rates own the exchange cadence — fall back
+            k_fused, fallback = 1, "lts"
+        if k_fused > 1 and not any(
+            rp.shared_with for rp in self.dist.ranks
+        ):
+            k_fused, fallback = 1, "no interfaces"
+        if k_fused > 1 and callback is not None:
+            raise ValueError(
+                "callback is not supported with steps_per_exchange > 1 "
+                "(nodes are only globally consistent at exchange "
+                "boundaries)"
+            )
+        fused_ctx = None
+        if k_fused > 1:
+            fused_ctx = {
+                "k": k_fused,
+                "halos": self.dist.build_fused_halos(k_fused),
+            }
+        self.last_fused = {
+            "steps_per_exchange": k_fused,
+            "requested": spe,
+            "fallback": fallback,
+            "model_times": auto_times,
+            "nsteps": nsteps,
+        }
         with telemetry.span("dist.run") as _s:
             _s.add("nsteps", nsteps)
             _s.add("nranks", self.world.nranks)
             if ctx is not None:
                 _s.add("lts_r_int", ctx["r_int"])
                 _s.add("lts_r_sync", ctx["r_sync"])
+            if fused_ctx is not None:
+                _s.add("steps_per_exchange", k_fused)
             if hasattr(self.world, "run_spmd"):
                 if callback is not None:
                     raise ValueError(
@@ -826,7 +1134,16 @@ class DistributedWaveSolver:
                     checkpoint_keep=checkpoint_keep,
                     resume=resume, faults=faults,
                     health_interval=health_interval, retry=retry,
-                    lts_ctx=ctx,
+                    lts_ctx=ctx, fused_ctx=fused_ctx,
+                )
+            if fused_ctx is not None:
+                return self._run_sim_fused(
+                    force_fn, nsteps, fused_ctx,
+                    checkpoint_dir=checkpoint_dir,
+                    checkpoint_every=checkpoint_every,
+                    checkpoint_keep=checkpoint_keep,
+                    resume=resume, faults=faults,
+                    health_interval=health_interval,
                 )
             if ctx is not None:
                 if callback is not None:
@@ -1025,6 +1342,8 @@ class DistributedWaveSolver:
                 for o, (loc, _) in rp.shared_with.items():
                     Ku[r][loc] += comms[r].Recv(o, tag=o)
                     world.stats[r].flops += 3 * len(loc)
+                if rp.shared_with:
+                    world.stats[r].exchanges += 1
                 if durs is not None:
                     durs[r][k, 3] = clock() - _t
             # phase 5: local update (nodal data now consistent)
@@ -1215,6 +1534,8 @@ class DistributedWaveSolver:
                     for o, (loc, _) in rp.shared_with.items():
                         Ku[r][loc] += comms[r].Recv(o, tag=o)
                         world.stats[r].flops += 3 * len(loc)
+                    if rp.shared_with:
+                        world.stats[r].exchanges += 1
                     _lts_level_update(lev, u[r], u_prev[r], Ku[r], bs[r])
                     world.stats[r].flops += 15 * len(lev["own"])
                     if durs is not None:
@@ -1252,26 +1573,255 @@ class DistributedWaveSolver:
             self.last_timeline = MergedTimeline(tls)
         return dist.gather_field(u)
 
+    # ------------------------------------- communication-avoiding path
+
+    def _fused_payload(self, halo) -> dict:
+        """Transport-ready description of one rank's k-deep halo: the
+        perspective operators' inputs (owner-ordered element subsets,
+        material and mass/damping slices), the inter-perspective
+        partial-sum adds, and the window-refresh send lists.  Shared by
+        the in-process and worker-process paths; everything is a plain
+        numpy array, so the dict pickles straight into a worker."""
+        mesh = self.mesh
+        persp = []
+        for o in sorted(halo.perspectives):
+            pp = halo.perspectives[o]
+            persp.append(
+                {
+                    "owner": o,
+                    "own": o == halo.rank,
+                    "conn": pp.conn,
+                    "h": mesh.elem_h[pp.elements_global],
+                    "lam": self._lam[pp.elements_global],
+                    "mu": self._mu[pp.elements_global],
+                    "nloc": len(pp.nodes_global),
+                    "n_iface": pp.n_iface,
+                    "m": self._m_global[pp.nodes_global][:, None],
+                    "C": self._C_global[pp.nodes_global],
+                    "gnodes": pp.nodes_global,
+                }
+            )
+        return {
+            "perspectives": persp,
+            "adds": halo.adds,
+            "sends": list(halo.sends.items()),
+        }
+
+    def recommend_steps_per_exchange(
+        self,
+        *,
+        machine=None,
+        candidates: Sequence[int] = (1, 2, 4, 8),
+        nsteps: int | None = None,
+    ) -> tuple[int, dict[int, float]]:
+        """Model-pick the fusion depth for this partition on this world.
+
+        With no ``machine`` given, one is calibrated in place: the
+        sustained flop rate from timing the heaviest rank's real
+        stiffness matvec, and — on a process transport with >= 2 ranks
+        — alpha/beta/gamma from a quick
+        :func:`~repro.parallel.transport.measure_transport` burst
+        ping-pong (whose traffic lands in ``world.stats``; pass an
+        explicit machine when exact accounting matters).  In-process
+        mailboxes have no real latency, so a :class:`SimWorld` gets a
+        near-free communication model and the chooser keeps ``k=1``.
+
+        Returns ``(best_k, {k: modeled_step_seconds})`` from
+        :func:`~repro.parallel.perfmodel.choose_steps_per_exchange`.
+        """
+        from repro.parallel.perfmodel import (
+            MachineModel,
+            choose_steps_per_exchange,
+            machine_from_measurements,
+        )
+
+        if machine is None:
+            ops = self.dist.ops
+            r = max(
+                range(len(ops)), key=lambda i: ops[i].flops_per_matvec
+            )
+            op = ops[r]
+            n = len(self.dist.ranks[r].nodes)
+            u = np.zeros((n, 3))
+            Ku = np.empty((n, 3))
+            op.matvec(u, out=Ku)  # warm the kernel workspace
+            reps = 3
+            t0 = time.perf_counter()
+            for _ in range(reps):
+                op.matvec(u, out=Ku)
+            per_mv = (time.perf_counter() - t0) / reps
+            flop_rate = op.flops_per_matvec / max(per_mv, 1e-12)
+            if hasattr(self.world, "run_spmd") and self.world.nranks >= 2:
+                from repro.parallel.transport import measure_transport
+
+                meas = measure_transport(
+                    self.world, sizes=(256, 4096, 32768), repeats=10
+                )
+                machine = machine_from_measurements(
+                    meas,
+                    flop_rate=flop_rate,
+                    name="measured proc transport",
+                )
+            else:
+                machine = MachineModel(
+                    name="in-process sim transport",
+                    flop_rate=flop_rate,
+                    latency=1e-9,
+                    bandwidth=1e12,
+                )
+        return choose_steps_per_exchange(
+            self.dist, machine, candidates=candidates, nsteps=nsteps
+        )
+
+    def _run_sim_fused(self, force_fn, nsteps, fused_ctx, *,
+                       checkpoint_dir=None, checkpoint_every=0,
+                       checkpoint_keep=3, resume=False, faults=None,
+                       health_interval=0):
+        """In-process communication-avoiding march: the identical
+        per-rank arithmetic as :func:`_rank_program_fused`, executed
+        one rank at a time with the window refresh staged across ranks
+        (every rank posts its sends before any rank receives — each
+        rank's window march depends only on its own refreshed state, so
+        the rank-at-a-time schedule is bit-identical to the concurrent
+        process transport)."""
+        world = self.world
+        dist = self.dist
+        dt = self.dt
+        k = fused_ctx["k"]
+        states = [
+            _fused_build_state(self._fused_payload(h), dt)
+            for h in fused_ctx["halos"].halos
+        ]
+        comms = world.comms()
+        force = _make_force_caller(force_fn, self.mesh.nnode)
+        tls = (
+            [RankTimeline(r, nsteps) for r in range(world.nranks)]
+            if telemetry.enabled()
+            else None
+        )
+        durs = [tl.durations for tl in tls] if tls is not None else None
+        clock = time.perf_counter
+
+        mgrs = None
+        if checkpoint_dir:
+            mgrs = [
+                CheckpointManager(
+                    checkpoint_dir, checkpoint_every,
+                    keep=checkpoint_keep, prefix=f"rank{r}",
+                )
+                for r in range(world.nranks)
+            ]
+        k0 = 0
+        if resume and checkpoint_dir:
+            step = collective_latest_step(checkpoint_dir, world.nranks)
+            if step is not None:
+                for r in range(world.nranks):
+                    ck = mgrs[r].load_step(step)
+                    own = states[r]["own"]
+                    own["u_prev"][:] = ck.arrays["u_prev"]
+                    own["u"][:] = ck.arrays["u"]
+                    k0 = int(ck.meta["next_k"])
+                if k0 % k and k0 != nsteps:
+                    raise ValueError(
+                        f"fused resume index {k0} is not an exchange "
+                        f"boundary (steps_per_exchange {k})"
+                    )
+        last_saved = k0
+
+        for s0 in range(k0, nsteps, k):
+            s_end = min(s0 + k, nsteps)
+            # phase 1: every rank posts its window-refresh messages
+            for r, st in enumerate(states):
+                if durs is not None:
+                    _t = clock()
+                own = st["own"]
+                for dest, idx, sbuf in st["sends"]:
+                    np.take(own["u"], idx, axis=0, out=sbuf[0])
+                    np.take(own["u_prev"], idx, axis=0, out=sbuf[1])
+                    comms[r].Send(sbuf, dest, tag=r)
+                if durs is not None:
+                    durs[r][s0, 1] = clock() - _t
+            # phase 2: each rank refreshes its ghosts and marches its
+            # whole window locally
+            for r, st in enumerate(states):
+                if durs is not None:
+                    _t = clock()
+                for o, rbuf in st["recvs"]:
+                    comms[r].Recv(o, tag=o, out=rbuf)
+                    q = st["persps"][o]
+                    q["u"][:] = rbuf[0]
+                    q["u_prev"][:] = rbuf[1]
+                if st["sends"] or st["recvs"]:
+                    world.stats[r].exchanges += 1
+                if durs is not None:
+                    durs[r][s0, 3] = clock() - _t
+                for s in range(s0, s_end):
+                    if durs is not None:
+                        _t = clock()
+                    b_global = force(s * dt)
+                    _fused_march_step(st, b_global, comms[r].add_flops)
+                    if durs is not None:
+                        durs[r][s, 0] += clock() - _t
+            # window boundary: own states hold x^{s_end} exactly
+            if faults is not None:
+                for r in range(world.nranks):
+                    faults.poison_state(
+                        r, s_end - 1, states[r]["own"]["u"]
+                    )
+            if health_interval and should_check(
+                s_end - 1, nsteps, health_interval
+            ):
+                for r in range(world.nranks):
+                    check_finite(
+                        states[r]["own"]["u"],
+                        step=s_end - 1, rank=r, field="u",
+                    )
+            if (
+                mgrs is not None
+                and checkpoint_every > 0
+                and s_end // checkpoint_every
+                > last_saved // checkpoint_every
+            ):
+                for r in range(world.nranks):
+                    own = states[r]["own"]
+                    mgrs[r].save(
+                        s_end - 1,
+                        {"u_prev": own["u_prev"], "u": own["u"]},
+                        {"next_k": s_end, "fused_k": k},
+                    )
+                last_saved = s_end
+
+        if tls is not None:
+            self.last_timeline = MergedTimeline(tls)
+        return dist.gather_field([st["own"]["u"] for st in states])
+
     # --------------------------------------------- worker-process path
 
     def _run_proc(self, force_fn, nsteps, *, checkpoint_dir=None,
                   checkpoint_every=0, checkpoint_keep=3, resume=False,
                   faults=None, health_interval=0, retry=None,
-                  lts_ctx=None):
+                  lts_ctx=None, fused_ctx=None):
         world = self.world
         dist = self.dist
         mesh = self.mesh
-        max_msg = max(
-            (
-                24 * len(loc)
-                for rp in dist.ranks
-                for (loc, _) in rp.shared_with.values()
-            ),
-            default=0,
-        )
+        if fused_ctx is not None:
+            # fused windows replace per-step interface messages with
+            # one aggregated [u; u_prev] refresh per directed halo pair
+            max_msg = fused_ctx["halos"].max_message_bytes()
+            kind = "window-refresh"
+        else:
+            max_msg = max(
+                (
+                    24 * len(loc)
+                    for rp in dist.ranks
+                    for (loc, _) in rp.shared_with.values()
+                ),
+                default=0,
+            )
+            kind = "interface"
         if max_msg > world.slot_bytes:
             raise ValueError(
-                f"largest interface message is {max_msg} bytes but the "
+                f"largest {kind} message is {max_msg} bytes but the "
                 f"ProcWorld channels hold {world.slot_bytes}; rebuild the "
                 f"world with slot_bytes >= {max_msg}"
             )
@@ -1294,20 +1844,9 @@ class DistributedWaveSolver:
                 payloads = []
                 for r, rp in enumerate(dist.ranks):
                     pl = {
-                        "conn": rp.local_conn,
-                        "h": mesh.elem_h[rp.elements],
-                        "lam": self._lam[rp.elements],
-                        "mu": self._mu[rp.elements],
-                        "nloc": len(rp.nodes),
-                        "n_iface": rp.n_iface_elems,
-                        "neighbors": [
-                            (o, loc)
-                            for o, (loc, _) in rp.shared_with.items()
-                        ],
                         "dt": self.dt,
                         "nsteps": nsteps,
                         "force_fn": force_fn,
-                        "gnodes": rp.nodes,
                         "gather_nodes": rp.gather_nodes,
                         "gather_local": rp.gather_local,
                         "result": (shm.name, mesh.nnode),
@@ -1319,6 +1858,30 @@ class DistributedWaveSolver:
                         "faults": faults,
                         "health_interval": health_interval,
                     }
+                    if fused_ctx is not None:
+                        # perspectives carry their own connectivity and
+                        # coefficient slices
+                        pl.update(
+                            self._fused_payload(
+                                fused_ctx["halos"].halos[r]
+                            ),
+                            k=fused_ctx["k"],
+                        )
+                        payloads.append(pl)
+                        continue
+                    pl.update(
+                        conn=rp.local_conn,
+                        h=mesh.elem_h[rp.elements],
+                        lam=self._lam[rp.elements],
+                        mu=self._mu[rp.elements],
+                        nloc=len(rp.nodes),
+                        n_iface=rp.n_iface_elems,
+                        neighbors=[
+                            (o, loc)
+                            for o, (loc, _) in rp.shared_with.items()
+                        ],
+                        gnodes=rp.nodes,
+                    )
                     if lts_ctx is None:
                         pl.update(
                             m2=m2[r], inv_A=inv_A[r],
@@ -1334,10 +1897,12 @@ class DistributedWaveSolver:
                             r_sync=lts_ctx["r_sync"],
                         )
                     payloads.append(pl)
-                program = (
-                    _rank_program_lts if lts_ctx is not None
-                    else _rank_program
-                )
+                if fused_ctx is not None:
+                    program = _rank_program_fused
+                elif lts_ctx is not None:
+                    program = _rank_program_lts
+                else:
+                    program = _rank_program
                 try:
                     timings = world.run_spmd(program, payloads)
                     break

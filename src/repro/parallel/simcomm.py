@@ -56,6 +56,11 @@ class TrafficStats:
     bytes_sent: int = 0
     flops: int = 0
     peers: dict = field(default_factory=dict)
+    #: exchange rounds entered (one per superstep that touched the
+    #: transport) — lets reports derive messages-per-step under fused
+    #: stepping.  Not part of :meth:`as_tuple`, which stays a 3-tuple
+    #: for compatibility.
+    exchanges: int = 0
 
     def record_send(self, src: int, dst: int, nbytes: int) -> None:
         """Account one message of ``nbytes`` from ``src`` to ``dst``:
@@ -71,12 +76,14 @@ class TrafficStats:
             self.bytes_sent,
             self.flops,
             dict(self.peers),
+            self.exchanges,
         )
 
     def merge(self, other: "TrafficStats") -> None:
         self.messages_sent += other.messages_sent
         self.bytes_sent += other.bytes_sent
         self.flops += other.flops
+        self.exchanges += other.exchanges
         for pair, (m, b) in other.peers.items():
             pm, pb = self.peers.get(pair, (0, 0))
             self.peers[pair] = (pm + m, pb + b)

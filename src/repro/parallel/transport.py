@@ -290,6 +290,7 @@ def _worker_main(rank, nranks, conn, send_chs, recv_chs, barrier,
                     result,
                     transport._stats.as_tuple(),
                     transport._stats.peers_payload(),
+                    transport._stats.exchanges,
                 )
             )
             transport._stats = TrafficStats()
@@ -472,6 +473,8 @@ class ProcWorld:
                     st.flops += f
                     if len(msg) > 3:
                         st.merge_peers_payload(msg[3])
+                    if len(msg) > 4:
+                        st.exchanges += msg[4]
                 else:
                     errors.append((r, msg[1]))
             now = time.perf_counter()
@@ -664,27 +667,43 @@ def attach_shared_array(name, shape, dtype=np.float64):
 
 
 def _pingpong_program(comm, payload):
-    """Rank 0 and 1 exchange fixed-size messages; returns per-size
-    one-way seconds on rank 0."""
-    sizes, repeats = payload
+    """Ranks 0 and 1 exchange fixed-size message bursts; returns, on
+    rank 0, the median round time per ``(size, burst)`` configuration.
+
+    One round of burst ``m`` is: rank 0 sends ``m`` back-to-back
+    messages, rank 1 receives ``m`` and replies with ``m``, rank 0
+    receives them — ``2m`` transfers total.  Varying ``m`` separates
+    the per-round fixed cost (gamma: Python dispatch, wakeup) from the
+    per-message cost (alpha), which a single-message ping-pong cannot
+    do.  The median over ``repeats`` rounds rejects the scheduler
+    outliers that previously made the raw means non-monotone in size.
+    """
+    sizes, bursts, repeats = payload
     if comm.rank > 1 or comm.size < 2:
         return None
     samples = []
     for nbytes in sizes:
         arr = np.zeros(max(nbytes // 8, 1))
-        if comm.rank == 0:
-            comm.Send(arr, 1, tag=99)  # warm the channel both ways
-            comm.Recv(1, tag=99)
-            t0 = time.perf_counter()
-            for _ in range(repeats):
-                comm.Send(arr, 1, tag=99)
-                comm.Recv(1, tag=99)
-            dt = (time.perf_counter() - t0) / repeats / 2.0
-            samples.append((int(arr.nbytes), float(dt)))
-        else:
-            for _ in range(repeats + 1):
-                comm.Recv(0, tag=99)
-                comm.Send(arr, 0, tag=99)
+        for m in bursts:
+            if comm.rank == 0:
+                rounds = []
+                for it in range(repeats + 1):
+                    t0 = time.perf_counter()
+                    for _ in range(m):
+                        comm.Send(arr, 1, tag=99)
+                    for _ in range(m):
+                        comm.Recv(1, tag=99)
+                    if it > 0:  # round 0 warms the channel both ways
+                        rounds.append(time.perf_counter() - t0)
+                samples.append(
+                    (int(arr.nbytes), int(m), float(np.median(rounds)))
+                )
+            else:
+                for _ in range(repeats + 1):
+                    for _ in range(m):
+                        comm.Recv(0, tag=99)
+                    for _ in range(m):
+                        comm.Send(arr, 0, tag=99)
     return samples
 
 
@@ -692,28 +711,44 @@ def measure_transport(
     world: ProcWorld,
     *,
     sizes: tuple = (64, 1024, 8192, 65536),
-    repeats: int = 50,
+    repeats: int = 30,
+    bursts: tuple = (1, 2),
 ) -> dict:
-    """Measure the transport's latency/bandwidth by ping-pong between
-    ranks 0 and 1, and fit ``t(n) = alpha + n / beta``.
+    """Calibrate the transport's alpha/beta/gamma by burst ping-pong
+    between ranks 0 and 1.
 
-    Returns ``{"alpha": s, "beta": bytes/s, "samples": [(bytes, s)]}``
-    — the measured constants :func:`repro.parallel.perfmodel.
-    machine_from_measurements` turns into a calibrated MachineModel.
-    Note the ping-pong traffic is merged into ``world.stats``; use a
-    scratch world when exact solver accounting matters.
+    Each ``(size n, burst m)`` configuration is timed as the median of
+    ``repeats`` rounds of ``2m`` transfers, then all configurations are
+    fit jointly by least squares to
+
+        ``T_round = gamma + 2m * alpha + 2m * n / beta``
+
+    Returns ``{"alpha": s/message, "beta": bytes/s, "gamma": s/round,
+    "samples": [(bytes, burst, round_s)]}`` — the constants
+    :func:`repro.parallel.perfmodel.machine_from_measurements` turns
+    into a calibrated MachineModel (gamma becomes ``dispatch``).  Note
+    the ping-pong traffic is merged into ``world.stats``; use a scratch
+    world when exact solver accounting matters.  Burst depth is capped
+    at 2 by the channels' double buffering.
     """
     if world.nranks < 2:
         raise ValueError("transport measurement needs at least 2 ranks")
     sizes = tuple(s for s in sizes if s <= world.slot_bytes)
+    bursts = tuple(sorted(set(int(m) for m in bursts)))
+    if any(m < 1 or m > 2 for m in bursts):
+        raise ValueError("bursts must be within the channel depth (1-2)")
     results = world.run_spmd(
-        _pingpong_program, [(sizes, repeats)] * world.nranks
+        _pingpong_program, [(sizes, bursts, repeats)] * world.nranks
     )
     samples = results[0]
-    xs = np.array([s[0] for s in samples], dtype=float)
-    ts = np.array([s[1] for s in samples], dtype=float)
-    A = np.stack([np.ones_like(xs), xs], axis=1)
-    (alpha, slope), *_ = np.linalg.lstsq(A, ts, rcond=None)
-    alpha = float(max(alpha, 1e-9))
-    beta = float(1.0 / max(slope, 1e-15))
-    return {"alpha": alpha, "beta": beta, "samples": samples}
+    ns = np.array([s[0] for s in samples], dtype=float)
+    ms = np.array([s[1] for s in samples], dtype=float)
+    ts = np.array([s[2] for s in samples], dtype=float)
+    A = np.stack([np.ones_like(ns), 2.0 * ms, 2.0 * ms * ns], axis=1)
+    (gamma, alpha, slope), *_ = np.linalg.lstsq(A, ts, rcond=None)
+    return {
+        "alpha": float(max(alpha, 1e-9)),
+        "beta": float(1.0 / max(slope, 1e-15)),
+        "gamma": float(max(gamma, 0.0)),
+        "samples": samples,
+    }

@@ -152,7 +152,13 @@ def test_measure_transport_sane():
         meas = measure_transport(world, sizes=(64, 1024), repeats=5)
     assert meas["alpha"] > 0
     assert meas["beta"] > 0
-    assert len(meas["samples"]) == 2
+    assert meas["gamma"] >= 0
+    # one (median round time) sample per (size, burst) configuration
+    assert len(meas["samples"]) == 2 * 2
+    for nbytes, burst, seconds in meas["samples"]:
+        assert nbytes in (64, 1024)
+        assert burst in (1, 2)
+        assert seconds > 0
 
 
 def test_callback_rejected_on_process_transport():
