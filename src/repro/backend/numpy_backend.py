@@ -26,9 +26,27 @@ the folded scatter applied to a constant slot block.
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
+
 import numpy as np
 
 from repro.backend.sparse_ops import ScatterPlan
+
+#: folded-data entries kept per kernel (see ``NumpyElementKernel._fold``)
+FOLD_CACHE_SLOTS = 4
+
+
+def _coef_digest(coefs) -> tuple:
+    """Stable content key of a coefficient tuple: one blake2b digest
+    per ``(nelem,)`` vector (hits re-verify with ``array_equal``, so a
+    digest collision cannot silently alias two materials)."""
+    return tuple(
+        hashlib.blake2b(
+            np.ascontiguousarray(c, dtype=float).tobytes(), digest_size=16
+        ).digest()
+        for c in coefs
+    )
 
 
 def _element_dof(conn: np.ndarray, ncomp: int) -> np.ndarray:
@@ -112,11 +130,45 @@ class NumpyElementKernel:
         self._G = self._Uall = self._Yall = self._Ym = None
         self._fold_count = 0
         self._last_coefs = None
+        # keyed LRU of folded scatter data (digest -> (coefs, data));
+        # the MRU entry is additionally tracked by _last_coefs for the
+        # hash-free per-step fast path
+        self._fold_lru: "OrderedDict[tuple, tuple]" = OrderedDict()
+        self.fold_cache_slots = FOLD_CACHE_SLOTS
+        self._fold_hits = 0
+        self._fold_misses = 0
         if self._fixed:
             # fold once, then free what only refolding would need
             self._fold(coefs)
             self._coef = None
             self.plan.drop_order()
+
+    # pickling (the service's disk artifact tier stores constructed
+    # operators): the workspace buffers are coupled by views — _Yb
+    # aliases _Y, the batch buffers alias each other — and pickle
+    # severs aliasing, so we drop all scratch and rebuild it on load.
+    # Everything semantic (plan, folded data, split data, fold cache)
+    # round-trips; batch workspace re-sizes lazily on the first matmat.
+    _SCRATCH = (
+        "_U", "_Y", "_Yb", "_u2T", "_o2T", "_Uall", "_Yall", "_G",
+        "_Ym", "_dof_flat", "_Uall_g", "_Uall_rs", "_Yall_rs",
+        "_bplan", "_bdata", "_bdata2", "_Yall_x", "_o2T_y",
+        "_Uall_lo", "_Yall_lo", "_Uall_hi", "_Yall_hi",
+    )
+
+    def __getstate__(self):
+        state = {
+            k: v for k, v in self.__dict__.items() if k not in self._SCRATCH
+        }
+        state["_batch_B"] = 0
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._U = np.empty((self.nelem, self.nldof))
+        self._Y = np.empty((self.nelem, self.nldof * self.nmat))
+        self._Yb = self._Y.reshape(-1, self.ncomp)
+        self._G = self._Uall = self._Yall = self._Ym = None
 
     @property
     def flops_per_matvec(self) -> int:
@@ -370,10 +422,10 @@ class NumpyElementKernel:
         return out2
 
     def _fold(self, coefs) -> None:
-        # single-entry cache: the time loops pass the same material
-        # every step, so comparing the (nelem,) coefficient vectors is
-        # far cheaper than redoing the nnz-sized fold permutation (and,
-        # for batched applies, the tiled-data refresh it would trigger)
+        # MRU fast path: the time loops pass the same material every
+        # step, so comparing the (nelem,) coefficient vectors is far
+        # cheaper than redoing the nnz-sized fold permutation (and, for
+        # batched applies, the tiled-data refresh it would trigger)
         if self._last_coefs is not None and len(coefs) == len(
             self._last_coefs
         ) and all(
@@ -381,6 +433,26 @@ class NumpyElementKernel:
             for c, lc in zip(coefs, self._last_coefs)
         ):
             return
+        # not the MRU entry: consult the keyed LRU before refolding —
+        # a single slot thrashes the moment two solvers alternate
+        # through one kernel (forward + adjoint refold different
+        # coefficient fields each half-iteration), while a few folded
+        # snapshots turn that alternation into memcpy-sized restores
+        if not self._fixed:
+            key = _coef_digest(coefs)
+            hit = self._fold_lru.get(key)
+            if hit is not None:
+                cached_coefs, cached_data = hit
+                if len(cached_coefs) == len(coefs) and all(
+                    np.array_equal(c, cc)
+                    for c, cc in zip(coefs, cached_coefs)
+                ):
+                    self._fold_lru.move_to_end(key)
+                    np.copyto(self._data, cached_data)
+                    self._last_coefs = cached_coefs
+                    self._fold_count += 1  # tiled matmat data refresh
+                    self._fold_hits += 1
+                    return
         self._last_coefs = [
             np.array(c, dtype=float, copy=True) for c in coefs
         ]
@@ -390,6 +462,22 @@ class NumpyElementKernel:
             )
         self.plan.fold(self._coef.reshape(-1), self._data)
         self._fold_count += 1  # invalidates the tiled matmat data
+        self._fold_misses += 1
+        if not self._fixed and self.fold_cache_slots > 0:
+            self._fold_lru[key] = (self._last_coefs, self._data.copy())
+            while len(self._fold_lru) > self.fold_cache_slots:
+                self._fold_lru.popitem(last=False)
+
+    def fold_cache_info(self) -> dict:
+        """Keyed fold-cache counters: ``hits`` restored a previously
+        folded material by copy, ``misses`` paid the full fold."""
+        return {
+            "slots": self.fold_cache_slots,
+            "entries": len(self._fold_lru),
+            "hits": self._fold_hits,
+            "misses": self._fold_misses,
+            "folds": self._fold_count,
+        }
 
     def matvec(self, u_flat, out_flat, coefs=None):
         """``out = K(c) u``; both flat, ``out`` caller-owned."""
@@ -472,6 +560,21 @@ class NumpyVarMatKernel:
         self._Y = np.empty((self.nelem, self.nldof))
         self._Yb = self._Y.reshape(-1, self.ncomp)
         self._ones = np.ones(self.plan.nnz)
+
+    def __getstate__(self):
+        # _Yb is a view of _Y; drop the scratch pair and rebuild on
+        # load (see NumpyElementKernel.__getstate__)
+        return {
+            k: v
+            for k, v in self.__dict__.items()
+            if k not in ("_U", "_Y", "_Yb")
+        }
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._U = np.empty((self.nelem, self.nldof))
+        self._Y = np.empty((self.nelem, self.nldof))
+        self._Yb = self._Y.reshape(-1, self.ncomp)
 
     @property
     def flops_per_matvec(self) -> int:

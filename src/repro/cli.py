@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four subcommands mirror the library's main workflows:
+Six subcommands mirror the library's main workflows:
 
 * ``forward``  — basin earthquake simulation to a seismogram archive;
 * ``mesh``     — etree mesh-database generation (construct/balance/
@@ -9,7 +9,12 @@ Four subcommands mirror the library's main workflows:
   (the paper's 8x-per-octave scaling law);
 * ``profile``  — instrumented forward + multi-shot inversion runs
   (serial and on both distributed transports) that emit JSONL traces
-  and Table-2.1-style :class:`~repro.telemetry.PerfReport` summaries.
+  and Table-2.1-style :class:`~repro.telemetry.PerfReport` summaries;
+* ``submit``   — spool a forward request for the simulation service;
+* ``serve``    — drain the spool through a warm
+  :class:`~repro.service.Engine` behind a
+  :class:`~repro.service.CoalescingScheduler` (requests sharing one
+  basin coalesce into one fused batched time loop).
 
 Examples
 --------
@@ -21,6 +26,9 @@ Examples
         --out /tmp/run.npz
     python -m repro.cli mesh --L 80000 --fmax 0.1 --workdir /tmp/meshdb
     python -m repro.cli profile --out-dir /tmp/profile --workers 2
+    python -m repro.cli submit --spool /tmp/spool --L 8000 --fmax 0.4 \
+        --t-end 2.0
+    python -m repro.cli serve --spool /tmp/spool --out-dir /tmp/results
 """
 
 from __future__ import annotations
@@ -393,6 +401,207 @@ def _profile_inverse(args, out_dir: str):
     return report
 
 
+_SPEC_FIELDS = (
+    "L", "depth_frac", "vs_min", "fmax", "ppw", "h_min", "max_level"
+)
+
+
+def _request_spec(args) -> dict:
+    """The spool-file spec dict for a submitted request (plain floats
+    and ints — the JSON the service rebuilds a SimulationSpec from)."""
+    return {
+        "L": float(args.L),
+        "depth_frac": float(args.depth_frac),
+        "vs_min": float(args.vs_min),
+        "fmax": float(args.fmax),
+        "ppw": float(args.ppw),
+        "h_min": float(args.h_min),
+        "max_level": int(args.max_level),
+    }
+
+
+def _spec_from_dict(d: dict):
+    """Rebuild the :class:`~repro.service.SimulationSpec` a spool file
+    names.  Field-for-field deterministic, so two spool files with
+    equal spec dicts hash to one artifact key and share a build."""
+    from repro.materials import SyntheticBasinModel
+    from repro.service import SimulationSpec
+
+    material = SyntheticBasinModel(
+        L=d["L"], depth=d["depth_frac"] * d["L"], vs_min=d["vs_min"]
+    )
+    return SimulationSpec(
+        material=material,
+        L=d["L"],
+        fmax=d["fmax"],
+        box_frac=(1, 1, d["depth_frac"]),
+        points_per_wavelength=d["ppw"],
+        max_level=d["max_level"],
+        h_min=d["h_min"],
+    )
+
+
+def _scenario_from_name(name: str, L: float):
+    from repro.sources import idealized_northridge, idealized_strike_slip
+
+    return (
+        idealized_northridge(L=L)
+        if name == "northridge"
+        else idealized_strike_slip(L=L)
+    )
+
+
+def cmd_submit(args) -> int:
+    """Spool one forward request for a (possibly already running)
+    ``repro serve`` process.  The write is atomic (tmp + rename), so a
+    concurrently draining server never sees a torn file."""
+    os.makedirs(args.spool, exist_ok=True)
+    spec = _request_spec(args)
+    if args.receivers:
+        receivers = json.loads(args.receivers)
+    else:
+        xs = np.linspace(0.2, 0.8, 5) * args.L
+        receivers = np.stack(
+            [xs, np.full_like(xs, 0.5 * args.L), np.zeros_like(xs)], axis=1
+        ).tolist()
+    # ids stay unique across drain generations: count retired requests
+    # in done/ too, so a later submit never reuses (and a later serve
+    # never overwrites) an earlier request's output file
+    existing = [
+        f
+        for d in (args.spool, os.path.join(args.spool, "done"))
+        if os.path.isdir(d)
+        for f in os.listdir(d)
+        if f.startswith("req-") and f.endswith(".json")
+    ]
+    req_id = f"req-{len(existing):06d}"
+    while any(
+        os.path.exists(os.path.join(d, req_id + ".json"))
+        for d in (args.spool, os.path.join(args.spool, "done"))
+    ):
+        req_id = f"req-{int(req_id[4:]) + 1:06d}"
+    request = {
+        "id": req_id,
+        "spec": spec,
+        "scenario": args.scenario,
+        "t_end": float(args.t_end),
+        "receivers": receivers,
+    }
+    path = os.path.join(args.spool, req_id + ".json")
+    tmp = path + ".tmp"
+    with open(tmp, "w") as f:
+        json.dump(request, f, indent=2)
+    os.replace(tmp, path)
+    key = _spec_from_dict(spec).key
+    print(f"spooled {path}  (artifact key {key[:12]}…)")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Drain the spool through a warm engine.
+
+    Each pass collects every pending ``req-*.json``, submits all of
+    them to the coalescing scheduler (requests naming the same basin,
+    horizon, and record coalesce into one fused batch), writes one
+    ``.npz`` seismogram archive per request, and moves the spool file
+    to ``<spool>/done``.  With ``--watch`` the server polls for new
+    requests until interrupted; the default is one drain pass (empty
+    spool = no-op), which is what the CI smoke drives.
+    """
+    import time as _time
+
+    from repro import telemetry
+    from repro.service import CoalescingScheduler, Engine, ForwardRequest
+
+    os.makedirs(args.spool, exist_ok=True)
+    os.makedirs(args.out_dir, exist_ok=True)
+    done_dir = os.path.join(args.spool, "done")
+    os.makedirs(done_dir, exist_ok=True)
+
+    engine = Engine(capacity=args.capacity, disk_dir=args.cache_dir)
+    scheduler = CoalescingScheduler(
+        engine, max_batch=args.max_batch, max_wait=args.max_wait
+    )
+    served = failed = 0
+    try:
+        while True:
+            pending = sorted(
+                f for f in os.listdir(args.spool)
+                if f.startswith("req-") and f.endswith(".json")
+            )
+            inflight = []
+            for fname in pending:
+                fpath = os.path.join(args.spool, fname)
+                with open(fpath) as f:
+                    req = json.load(f)
+                spec = _spec_from_dict(req["spec"])
+                request = ForwardRequest(
+                    spec,
+                    _scenario_from_name(
+                        req.get("scenario", "strike-slip"), spec.L
+                    ),
+                    float(req["t_end"]),
+                    receivers=(
+                        np.asarray(req["receivers"], dtype=float)
+                        if req.get("receivers")
+                        else None
+                    ),
+                    record=req.get("record", "velocity"),
+                )
+                inflight.append((fpath, req, scheduler.submit(request)))
+            for fpath, req, future in inflight:
+                out = os.path.join(args.out_dir, req["id"] + ".npz")
+                try:
+                    seis = future.result()
+                except Exception as e:  # keep serving the rest
+                    failed += 1
+                    print(f"  {req['id']}: FAILED ({e})")
+                    continue
+                if seis is not None:
+                    np.savez_compressed(
+                        out,
+                        data=seis.data,
+                        dt=seis.dt,
+                        kind=seis.kind,
+                        positions=seis.positions,
+                    )
+                    print(f"  {req['id']}: {out}")
+                served += 1
+                os.replace(
+                    fpath, os.path.join(done_dir, os.path.basename(fpath))
+                )
+            if not args.watch:
+                break
+            if not inflight:
+                _time.sleep(args.poll)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        scheduler.close()
+        engine.close()
+
+    stats = engine.stats()
+    sched = scheduler.stats()
+    print(
+        f"served {served} request(s) ({failed} failed) in "
+        f"{sched['batches']} batch(es), mean width "
+        f"{sched['mean_batch']:.2f}, max {sched['max_batch_observed']}"
+    )
+    print(
+        f"artifact cache: {stats['hits']} hits / {stats['misses']} misses "
+        f"({stats['entries']} live, {stats['disk_hits']} from disk)"
+    )
+    if args.report:
+        report = telemetry.PerfReport.collect(
+            metrics=telemetry.metrics(),
+            service={**stats, **sched},
+            title="simulation service drain",
+        )
+        print()
+        print(report.as_text())
+    return 1 if failed else 0
+
+
 def cmd_profile(args) -> int:
     os.makedirs(args.out_dir, exist_ok=True)
     reports = []
@@ -491,6 +700,49 @@ def build_parser() -> argparse.ArgumentParser:
              "picks K from the calibrated machine model",
     )
     pp.set_defaults(func=cmd_profile)
+
+    ps = sub.add_parser(
+        "submit",
+        help="spool a forward request for the simulation service",
+    )
+    _add_material_args(ps)
+    ps.add_argument("--max-level", type=int, default=6)
+    ps.add_argument("--t-end", type=float, required=True)
+    ps.add_argument(
+        "--scenario", choices=("northridge", "strike-slip"),
+        default="strike-slip",
+    )
+    ps.add_argument(
+        "--receivers",
+        help='JSON list of [x, y, z] positions (m), e.g. "[[100,100,0]]"',
+    )
+    ps.add_argument("--spool", required=True,
+                    help="spool directory shared with `repro serve`")
+    ps.set_defaults(func=cmd_submit)
+
+    pv = sub.add_parser(
+        "serve",
+        help="drain spooled requests through the warm simulation service",
+    )
+    pv.add_argument("--spool", required=True,
+                    help="spool directory `repro submit` writes into")
+    pv.add_argument("--out-dir", default="service_out",
+                    help="directory for per-request seismogram .npz files")
+    pv.add_argument("--cache-dir",
+                    help="on-disk artifact tier (warm restarts)")
+    pv.add_argument("--capacity", type=int, default=4,
+                    help="memory-tier LRU slots for constructed basins")
+    pv.add_argument("--max-batch", type=int, default=16,
+                    help="coalescing width cap (B of the fused loop)")
+    pv.add_argument("--max-wait", type=float, default=0.05,
+                    help="seconds a batching window stays open")
+    pv.add_argument("--watch", action="store_true",
+                    help="keep polling the spool instead of one drain pass")
+    pv.add_argument("--poll", type=float, default=0.5,
+                    help="idle poll interval with --watch (s)")
+    pv.add_argument("--report", action="store_true",
+                    help="print the PerfReport service section after draining")
+    pv.set_defaults(func=cmd_serve)
     return p
 
 

@@ -24,7 +24,10 @@ from repro.parallel.transport import (
     ProcWorld,
     TransportCorruption,
     WorkerFailure,
+    calibrate_transport,
+    clear_transport_calibration,
     measure_transport,
+    transport_fingerprint,
 )
 from repro.parallel.decomposition import (
     DistributedElasticOperator,
@@ -53,7 +56,10 @@ __all__ = [
     "ProcWorld",
     "TransportCorruption",
     "WorkerFailure",
+    "calibrate_transport",
+    "clear_transport_calibration",
     "measure_transport",
+    "transport_fingerprint",
     "DistributedElasticOperator",
     "FusedHalo",
     "FusedHaloSet",

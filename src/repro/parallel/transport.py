@@ -551,6 +551,26 @@ class ProcWorld:
         self._spawn()
         self.respawns += 1
 
+    def ensure_running(self) -> None:
+        """Make the pool usable, re-attaching if necessary: a closed
+        world spawns fresh workers (so ``close`` + ``ensure_running``
+        is an explicit shutdown/re-attach cycle — a long-lived engine
+        can park its pool between bursts of traffic), and a world
+        whose workers died respawns.  A healthy pool is untouched, so
+        calling this before every submission costs two checks."""
+        if self._closed:
+            self._spawn()
+            _LIVE_WORLDS.add(self)
+            self.respawns += 1
+            return
+        if any(not p.is_alive() for p in self._procs):
+            self.respawn()
+
+    @property
+    def closed(self) -> bool:
+        """True between :meth:`close` and the next re-attach."""
+        return self._closed
+
     def close(self, force: bool = False) -> None:
         """Stop the workers; idempotent.  ``force`` terminates without
         the cooperative stop handshake (used on broken pools, where
@@ -752,3 +772,61 @@ def measure_transport(
         "gamma": float(max(gamma, 0.0)),
         "samples": samples,
     }
+
+
+#: process-wide memo of transport calibrations — the alpha/beta/gamma
+#: of a transport flavour at a rank count are machine properties, not
+#: per-world state, so one burst ping-pong serves every solver and
+#: ``steps_per_exchange="auto"`` call in the process
+_CALIBRATION_CACHE: dict[tuple, dict] = {}
+
+
+def transport_fingerprint(world) -> tuple:
+    """What makes two worlds calibration-equivalent: the transport
+    implementation, the rank count, and the channel slot size (the
+    ping-pong saturates differently against different slot depths)."""
+    return (
+        type(world).__name__,
+        int(world.nranks),
+        int(getattr(world, "slot_bytes", 0)),
+    )
+
+
+def calibrate_transport(
+    world,
+    *,
+    sizes: tuple = (64, 1024, 8192, 65536),
+    repeats: int = 30,
+    bursts: tuple = (1, 2),
+    refresh: bool = False,
+) -> dict:
+    """Memoized :func:`measure_transport`: the first call per
+    ``(transport, nranks, slot_bytes, sizes, repeats, bursts)`` runs
+    the burst ping-pong, every later one is a dictionary lookup — so
+    ``steps_per_exchange="auto"`` and sharding heuristics stop paying
+    the measurement on every solver construction.  ``refresh=True``
+    forces a re-measurement (and replaces the memo entry);
+    :func:`clear_transport_calibration` drops everything, which tests
+    use to keep measurements hermetic."""
+    key = transport_fingerprint(world) + (
+        tuple(int(s) for s in sizes),
+        int(repeats),
+        tuple(sorted(set(int(m) for m in bursts))),
+    )
+    if not refresh:
+        hit = _CALIBRATION_CACHE.get(key)
+        if hit is not None:
+            from repro import telemetry
+
+            telemetry.count("service.calibration_hits")
+            return dict(hit)
+    meas = measure_transport(
+        world, sizes=sizes, repeats=repeats, bursts=bursts
+    )
+    _CALIBRATION_CACHE[key] = dict(meas)
+    return meas
+
+
+def clear_transport_calibration() -> None:
+    """Forget all memoized transport calibrations."""
+    _CALIBRATION_CACHE.clear()

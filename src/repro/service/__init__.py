@@ -1,0 +1,38 @@
+"""``repro.service`` — long-running simulation service (see DESIGN.md).
+
+Turns the one-shot library into an always-on engine where a repeat
+scenario run is a cache hit plus one batched column:
+
+* :mod:`~repro.service.cache` — content-addressed artifact store
+  (stable spec hashing, in-memory LRU + CRC-verified disk tier);
+* :mod:`~repro.service.engine` — warm :class:`Engine` owning the
+  constructed simulations and persistent :class:`ProcWorld` pools;
+* :mod:`~repro.service.scheduler` — :class:`CoalescingScheduler`, an
+  async job queue that packs co-batchable requests into one fused
+  ``run_batch`` time loop (each column bitwise-identical to a solo
+  run).
+"""
+
+from repro.service.cache import (
+    ArtifactCache,
+    CacheCorruptError,
+    artifact_key,
+    fingerprint,
+    load_artifact,
+    save_artifact,
+)
+from repro.service.engine import Engine, SimulationSpec
+from repro.service.scheduler import CoalescingScheduler, ForwardRequest
+
+__all__ = [
+    "ArtifactCache",
+    "CacheCorruptError",
+    "CoalescingScheduler",
+    "Engine",
+    "ForwardRequest",
+    "SimulationSpec",
+    "artifact_key",
+    "fingerprint",
+    "load_artifact",
+    "save_artifact",
+]

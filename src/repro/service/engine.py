@@ -1,0 +1,261 @@
+"""Warm simulation engine: constructed solvers + persistent pools.
+
+The engine is the stateful middle of the service: it owns an
+:class:`~repro.service.cache.ArtifactCache` of constructed
+:class:`~repro.core.simulation.ForwardSimulation` instances (octree,
+mesh, constraints, assembled operators, scatter plans — everything a
+rupture does *not* change) and a registry of persistent
+:class:`~repro.parallel.ProcWorld` pools, so successive
+:meth:`submit` calls skip straight to the time loop.
+
+A request names its basin with a :class:`SimulationSpec` — a frozen
+description whose :attr:`SimulationSpec.key` is the content address
+used throughout the service.  Two requests with bitwise-equal specs
+share one constructed simulation; any perturbed field (a material
+array entry, ``fmax``, the backend) produces a different key and a
+fresh build.  Warm runs are bit-identical to cold runs: the cache
+stores the *constructed operators*, and the solver time loop is
+deterministic given those operators and the scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+import numpy as np
+
+from repro import telemetry
+from repro.service.cache import ArtifactCache, artifact_key
+
+__all__ = ["SimulationSpec", "Engine"]
+
+
+def _default_backend() -> str:
+    from repro.backend import get_backend
+
+    return get_backend().name
+
+
+@dataclass(frozen=True)
+class SimulationSpec:
+    """Everything that determines the expensive immutables of a basin.
+
+    Mirrors the :class:`~repro.core.simulation.ForwardSimulation`
+    constructor; :attr:`key` is the stable content hash of every field
+    (including the material model's arrays) plus the active compute
+    backend and dtype, so a cache entry can never be served across a
+    change that would alter the constructed operators.
+    """
+
+    material: object
+    L: float
+    fmax: float
+    box_frac: tuple = (1.0, 1.0, 1.0)
+    points_per_wavelength: float = 10.0
+    max_level: int = 7
+    h_min: float = 0.0
+    damping_ratio: float = 0.0
+    damping_band: tuple | None = None
+    stacey_c1: bool = True
+    cfl_safety: float = 0.5
+    lts: int = 0
+    backend: str | None = None
+    dtype: str = "float64"
+
+    @property
+    def key(self) -> str:
+        """Content address of this spec (hex digest)."""
+        return artifact_key(
+            kind="forward_simulation",
+            material=self.material,
+            L=float(self.L),
+            fmax=float(self.fmax),
+            box_frac=tuple(float(b) for b in self.box_frac),
+            points_per_wavelength=float(self.points_per_wavelength),
+            max_level=int(self.max_level),
+            h_min=float(self.h_min),
+            damping_ratio=float(self.damping_ratio),
+            damping_band=None
+            if self.damping_band is None
+            else tuple(float(b) for b in self.damping_band),
+            stacey_c1=bool(self.stacey_c1),
+            cfl_safety=float(self.cfl_safety),
+            lts=int(self.lts),
+            backend=self.backend or _default_backend(),
+            dtype=str(self.dtype),
+        )
+
+    def build(self):
+        """Construct the simulation this spec describes (the expensive
+        cold path the cache amortizes)."""
+        from repro.core.simulation import ForwardSimulation
+
+        return ForwardSimulation(
+            self.material,
+            L=self.L,
+            fmax=self.fmax,
+            box_frac=self.box_frac,
+            points_per_wavelength=self.points_per_wavelength,
+            max_level=self.max_level,
+            h_min=self.h_min,
+            damping_ratio=self.damping_ratio,
+            damping_band=self.damping_band,
+            stacey_c1=self.stacey_c1,
+            cfl_safety=self.cfl_safety,
+            lts=self.lts,
+        )
+
+
+class Engine:
+    """Long-running simulation engine with warm state.
+
+    Parameters
+    ----------
+    capacity:
+        Memory-tier LRU slots for constructed simulations.
+    disk_dir:
+        Optional on-disk artifact tier (CRC-verified, atomic).
+    cache:
+        Pass a prebuilt :class:`ArtifactCache` to share one across
+        engines (overrides ``capacity``/``disk_dir``).
+    """
+
+    def __init__(
+        self,
+        *,
+        capacity: int = 4,
+        disk_dir: str | None = None,
+        cache: ArtifactCache | None = None,
+    ):
+        self.cache = cache or ArtifactCache(capacity, disk_dir=disk_dir)
+        self._pools: dict[tuple, object] = {}
+        self.submitted = 0
+
+    # ------------------------------------------------------ warm state
+
+    def simulation(self, spec: SimulationSpec):
+        """The constructed simulation for ``spec`` — a cache hit after
+        the first call (or a disk load on a fresh process when the
+        engine has a disk tier)."""
+        return self.cache.get_or_build(spec.key, spec.build)
+
+    def pool(self, nranks: int, **kwargs):
+        """A persistent :class:`~repro.parallel.ProcWorld` shared by
+        every submission that asks for ``nranks`` workers; re-attached
+        if a previous user closed it or its workers died.  The engine
+        owns the pool — callers must not ``close`` it mid-service
+        (:meth:`close` shuts all pools down exactly once)."""
+        from repro.parallel import ProcWorld
+
+        key = (int(nranks),) + tuple(sorted(kwargs.items()))
+        world = self._pools.get(key)
+        if world is None:
+            world = ProcWorld(nranks, **kwargs)
+            self._pools[key] = world
+        else:
+            world.ensure_running()
+        return world
+
+    # ------------------------------------------------------ submission
+
+    def submit(
+        self,
+        spec: SimulationSpec,
+        scenario,
+        t_end: float,
+        *,
+        receivers: np.ndarray | None = None,
+        record: str = "velocity",
+        **run_kwargs,
+    ):
+        """One forward run against warm state; returns the
+        :class:`~repro.core.simulation.ForwardResult`.  Identical
+        dispatch to ``ForwardSimulation.run`` — a warm submit differs
+        from a cold library call only in skipping construction, so the
+        trajectory is bitwise the same."""
+        sim = self.simulation(spec)
+        self.submitted += 1
+        telemetry.count("service.submits")
+        with telemetry.span("service.run"):
+            return sim.run(
+                scenario,
+                t_end,
+                receivers=receivers,
+                record=record,
+                **run_kwargs,
+            )
+
+    def submit_batch(
+        self,
+        spec: SimulationSpec,
+        scenarios: Sequence,
+        t_end: float,
+        *,
+        receivers=None,
+        record: str = "velocity",
+    ) -> list:
+        """March ``B = len(scenarios)`` rupture scenarios of one basin
+        in a single fused :meth:`~repro.solver.wave_solver
+        .ElasticWaveSolver.run_batch` loop; returns one
+        :class:`~repro.io.seismogram.Seismograms` per scenario (None
+        without receivers).  ``receivers`` is one shared ``(n, 3)``
+        position array or a sequence with one entry per scenario.
+        Column ``b`` is bit-identical to ``submit(spec,
+        scenarios[b], t_end)`` — the coalescing contract the scheduler
+        builds on."""
+        from repro.io.seismogram import ReceiverArray
+        from repro.sources.fault import SourceCollection
+
+        sim = self.simulation(spec)
+        self.submitted += len(scenarios)
+        telemetry.count("service.submits", len(scenarios))
+        forces = [
+            SourceCollection(sim.mesh, sim.tree, sc.sources)
+            for sc in scenarios
+        ]
+        if receivers is None:
+            recs = None
+        elif isinstance(receivers, np.ndarray) and receivers.ndim == 2:
+            recs = ReceiverArray(sim.mesh, receivers)
+        else:
+            if len(receivers) != len(scenarios):
+                raise ValueError("need one receiver set per scenario")
+            recs = [ReceiverArray(sim.mesh, r) for r in receivers]
+        with telemetry.span("service.run_batch") as _s:
+            _s.add("batch", len(scenarios))
+            return sim.solver.run_batch(
+                forces, t_end, receivers=recs, record=record
+            )
+
+    # -------------------------------------------------------- lifetime
+
+    def stats(self) -> dict:
+        s = self.cache.stats()
+        s["submitted"] = self.submitted
+        s["pools"] = {
+            "+".join(str(k) for k in key): (
+                "closed" if world.closed else "running"
+            )
+            for key, world in self._pools.items()
+        }
+        return s
+
+    def close(self) -> None:
+        """Shut every owned pool down (idempotent).  The engine stays
+        usable — the artifact cache is untouched and a later
+        :meth:`pool` call re-attaches a fresh pool — so ``close`` is
+        the explicit park/shutdown point between traffic bursts."""
+        for world in self._pools.values():
+            try:
+                world.close()
+            except Exception:
+                pass
+        self._pools.clear()
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False

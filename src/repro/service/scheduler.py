@@ -1,0 +1,267 @@
+"""Coalescing scheduler: independent requests → one batched column each.
+
+The service's request path.  Callers :meth:`~CoalescingScheduler
+.submit` forward requests asynchronously and get a
+:class:`concurrent.futures.Future` back; a scheduler thread groups
+requests that share a **group key** — the spec's artifact key plus
+``(t_end, record)``, everything a fused loop must agree on — and packs
+each group into one :meth:`~repro.service.engine.Engine.submit_batch`
+call, demultiplexing the per-scenario seismograms back onto the
+futures.
+
+The batching window is a small state machine per group:
+
+* **idle** — no pending requests for the key;
+* **open** — the first request arrives and starts a ``max_wait``
+  timer (the window);
+* **dispatch** — when the group reaches ``max_batch`` members
+  (*full*), its window expires (*timeout*), or the scheduler is
+  flushed/closed, the group leaves the queue and runs as one batch.
+
+Coalescing is free of numerical consequence: ``run_batch`` column
+``b`` is bit-identical to a solo ``run`` of scenario ``b`` (the
+row-stacked GEMM and block-diagonal scatter keep the serial summation
+orders — see ``tests/test_batch.py``), so a request cannot observe
+whether it shared its time loop.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import telemetry
+from repro.service.engine import Engine, SimulationSpec
+
+__all__ = ["ForwardRequest", "CoalescingScheduler"]
+
+
+@dataclass
+class ForwardRequest:
+    """One independently-arriving forward-simulation request."""
+
+    spec: SimulationSpec
+    scenario: object
+    t_end: float
+    receivers: np.ndarray | None = None
+    record: str = "velocity"
+
+    def group_key(self) -> tuple:
+        """What a fused time loop must agree on: the artifact key (one
+        basin, one set of operators), the horizon, the recorded field,
+        and whether seismograms are wanted at all."""
+        return (
+            self.spec.key,
+            float(self.t_end),
+            self.record,
+            self.receivers is not None,
+        )
+
+
+class _Group:
+    """Pending requests sharing a group key (one open window)."""
+
+    __slots__ = ("requests", "futures", "deadline")
+
+    def __init__(self, deadline: float):
+        self.requests: list[ForwardRequest] = []
+        self.futures: list[Future] = []
+        self.deadline = deadline
+
+
+class CoalescingScheduler:
+    """Async job queue in front of an :class:`Engine`.
+
+    Parameters
+    ----------
+    engine:
+        The warm engine that executes dispatched batches.
+    max_batch:
+        Dispatch a group as soon as it holds this many requests
+        (``B`` of the fused loop).
+    max_wait:
+        Seconds a group may wait for co-batchable traffic after its
+        first request arrives.  ``0`` disables coalescing latency
+        entirely — every request dispatches immediately (B=1) —
+        which is the idle-overhead configuration the CI gate checks.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        *,
+        max_batch: int = 16,
+        max_wait: float = 0.05,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.engine = engine
+        self.max_batch = int(max_batch)
+        self.max_wait = float(max_wait)
+        self._groups: dict[tuple, _Group] = {}
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._closed = False
+        self.requests = 0
+        self.batches = 0
+        self.coalesced = 0
+        self.max_observed_batch = 0
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-scheduler", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------- submission
+
+    def submit(self, request: ForwardRequest) -> Future:
+        """Enqueue a request; the Future resolves to its
+        :class:`~repro.io.seismogram.Seismograms` (or None without
+        receivers) once its batch has run."""
+        future: Future = Future()
+        with self._wake:
+            if self._closed:
+                raise RuntimeError("scheduler is closed")
+            key = request.group_key()
+            group = self._groups.get(key)
+            if group is None:
+                group = _Group(time.monotonic() + self.max_wait)
+                self._groups[key] = group
+            group.requests.append(request)
+            group.futures.append(future)
+            self.requests += 1
+            telemetry.count("service.requests")
+            self._wake.notify()
+        return future
+
+    def map_wait(self, requests) -> list:
+        """Submit many requests and block for all results (in order)."""
+        futures = [self.submit(r) for r in requests]
+        return [f.result() for f in futures]
+
+    def flush(self) -> None:
+        """Dispatch every open window now, ignoring remaining wait
+        time, and block until the queue is empty."""
+        with self._wake:
+            for group in self._groups.values():
+                group.deadline = 0.0
+            self._wake.notify()
+        while True:
+            with self._wake:
+                if not self._groups and not self._dispatching:
+                    return
+            time.sleep(0.001)
+
+    # -------------------------------------------------------- dispatch
+
+    _dispatching = False
+
+    def _take_ready(self):
+        """Under the lock: pop the first group that is full or past
+        its window; returns ``(key, group, reason)`` or None."""
+        now = time.monotonic()
+        for key, group in self._groups.items():
+            if len(group.requests) >= self.max_batch:
+                del self._groups[key]
+                return key, group, "full"
+            if now >= group.deadline:
+                del self._groups[key]
+                return key, group, "timeout"
+        return None
+
+    def _next_deadline(self):
+        return min(
+            (g.deadline for g in self._groups.values()), default=None
+        )
+
+    def _loop(self) -> None:
+        while True:
+            with self._wake:
+                ready = self._take_ready()
+                if ready is None:
+                    if self._closed and not self._groups:
+                        return
+                    deadline = self._next_deadline()
+                    timeout = (
+                        None
+                        if deadline is None
+                        else max(deadline - time.monotonic(), 0.0)
+                    )
+                    self._wake.wait(timeout=timeout)
+                    continue
+                self._dispatching = True
+            key, group, reason = ready
+            try:
+                self._run_group(group, reason)
+            finally:
+                with self._wake:
+                    self._dispatching = False
+                    self._wake.notify()
+
+    def _run_group(self, group: _Group, reason: str) -> None:
+        requests, futures = group.requests, group.futures
+        B = len(requests)
+        self.batches += 1
+        self.coalesced += B - 1
+        self.max_observed_batch = max(self.max_observed_batch, B)
+        telemetry.count("service.batches")
+        telemetry.count("service.coalesced", B - 1)
+        first = requests[0]
+        try:
+            with telemetry.span("service.dispatch") as _s:
+                _s.add("batch", B)
+                results = self.engine.submit_batch(
+                    first.spec,
+                    [r.scenario for r in requests],
+                    first.t_end,
+                    receivers=(
+                        [r.receivers for r in requests]
+                        if first.receivers is not None
+                        else None
+                    ),
+                    record=first.record,
+                )
+        except BaseException as e:
+            for f in futures:
+                f.set_exception(e)
+            return
+        if results is None:
+            results = [None] * B
+        for f, seis in zip(futures, results):
+            f.set_result(seis)
+
+    # -------------------------------------------------------- lifetime
+
+    def stats(self) -> dict:
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "coalesced": self.coalesced,
+            "max_batch_observed": self.max_observed_batch,
+            "mean_batch": (
+                self.requests / self.batches if self.batches else 0.0
+            ),
+        }
+
+    def close(self, *, wait: bool = True) -> None:
+        """Stop accepting requests; drain open windows, then stop the
+        scheduler thread."""
+        with self._wake:
+            if self._closed:
+                return
+            self._closed = True
+            for group in self._groups.values():
+                group.deadline = 0.0
+            self._wake.notify()
+        if wait:
+            self._thread.join(timeout=60.0)
+
+    def __enter__(self) -> "CoalescingScheduler":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False

@@ -65,6 +65,12 @@ class PerfReport:
         times).  :meth:`collect` derives ``messages_per_step`` and the
         fused-vs-unfused message ``reduction`` from the traffic matrix
         when ``world`` is given.
+    service:
+        Optional simulation-service summary: merge of
+        :meth:`repro.service.Engine.stats` (artifact-cache hit/miss,
+        bytes, build seconds) and
+        :meth:`repro.service.CoalescingScheduler.stats` (requests,
+        batches, mean coalesced width).
     title:
         Heading of the text rendering.
     """
@@ -78,6 +84,7 @@ class PerfReport:
     metrics: dict = field(default_factory=dict)
     lts: dict | None = None
     fused: dict | None = None
+    service: dict | None = None
     title: str = "Performance report"
 
     # ------------------------------------------------------ construction
@@ -96,6 +103,7 @@ class PerfReport:
         metrics=None,
         lts=None,
         fused=None,
+        service=None,
         title="Performance report",
     ) -> "PerfReport":
         """Build a report from live instrumentation objects.
@@ -175,6 +183,7 @@ class PerfReport:
             metrics=dict(metrics.as_dict()) if metrics is not None else {},
             lts=dict(lts) if lts is not None else None,
             fused=fused_out,
+            service=dict(service) if service is not None else None,
             title=title,
         )
 
@@ -216,6 +225,7 @@ class PerfReport:
             "metrics": self.metrics,
             "lts": self.lts,
             "fused": self.fused,
+            "service": self.service,
         }
 
     def as_text(self) -> str:
@@ -316,6 +326,26 @@ class PerfReport:
             fb = self.fused.get("fallback")
             if fb:
                 lines.append(f"  fell back to k=1 ({fb})")
+        if self.service:
+            lines.append("")
+            sv = self.service
+            hits, misses = sv.get("hits", 0), sv.get("misses", 0)
+            total = hits + misses
+            lines.append("simulation service")
+            lines.append(
+                f"  artifact cache: {hits}/{total} hits "
+                f"({100.0 * hits / total if total else 0.0:.0f}%), "
+                f"{sv.get('entries', 0)} live entries, "
+                f"build time saved "
+                f"{_fmt(sv.get('build_seconds'), 6, 2)}s/build"
+            )
+            if sv.get("requests"):
+                lines.append(
+                    f"  coalescing: {sv['requests']} requests in "
+                    f"{sv.get('batches', 0)} batches "
+                    f"(mean width {_fmt(sv.get('mean_batch'), 5, 2)}, "
+                    f"max {sv.get('max_batch_observed', 1)})"
+                )
         if self.efficiency is not None:
             lines.append("")
             lines.append(

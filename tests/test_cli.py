@@ -60,3 +60,39 @@ def test_forward_command_writes_npz(tmp_path, capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+def test_submit_serve_roundtrip(tmp_path, capsys):
+    spool, out_dir = str(tmp_path / "spool"), str(tmp_path / "out")
+    spec_args = [
+        "--L", "8000", "--fmax", "0.15", "--vs-min", "400",
+        "--max-level", "3", "--t-end", "1.0",
+        "--receivers", "[[4000, 4000, 0]]",
+    ]
+    assert main(["submit", "--spool", spool] + spec_args) == 0
+    assert main(["submit", "--spool", spool] + spec_args) == 0
+    out = capsys.readouterr().out
+    # equal specs advertise one shared artifact key
+    keys = {line.split("artifact key ")[1] for line in out.splitlines()}
+    assert len(keys) == 1
+
+    rc = main(
+        [
+            "serve", "--spool", spool, "--out-dir", out_dir,
+            "--max-wait", "2.0",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "served 2 request(s) (0 failed) in 1 batch(es)" in out
+    a = np.load(out_dir + "/req-000000.npz")
+    b = np.load(out_dir + "/req-000001.npz")
+    # coalesced columns of one fused loop: identical requests,
+    # identical bits
+    assert np.array_equal(a["data"], b["data"])
+    # the spool files were retired, not deleted
+    assert sorted(
+        f for f in (tmp_path / "spool" / "done").iterdir()
+    )
+    # an empty spool drains as a no-op
+    assert main(["serve", "--spool", spool, "--out-dir", out_dir]) == 0
