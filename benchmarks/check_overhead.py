@@ -294,7 +294,23 @@ def main(argv=None) -> int:
                     help="run only the telemetry/resilience gate")
     ap.add_argument("--skip-telemetry", action="store_true",
                     help="run only the idle-service gate")
+    ap.add_argument("--exporter-armed", action="store_true",
+                    help="arm the flight recorder and construct both "
+                         "exporters before timing — the armed-but-idle "
+                         "observability stack must fit the same budget")
     args = ap.parse_args(argv)
+
+    if args.exporter_armed:
+        # exporters/recorder exist but telemetry stays off: the gate
+        # proves arming them adds nothing to the disabled hot path
+        flight_dir = tempfile.mkdtemp(prefix="overhead_flight_")
+        telemetry.arm_flight_recorder(flight_dir)
+        telemetry.MetricsJsonlExporter(
+            tempfile.mktemp(prefix="overhead_metrics_", suffix=".jsonl")
+        )
+        telemetry.StatusFile(
+            tempfile.mktemp(prefix="overhead_status_", suffix=".json")
+        )
 
     if args.skip_telemetry:
         if telemetry.enabled():

@@ -497,6 +497,44 @@ def cmd_submit(args) -> int:
     return 0
 
 
+def _serve_status_payload(engine, scheduler, served, failed, drain):
+    """The live-state dict ``repro serve`` publishes for ``repro top``:
+    counts, window occupancy, cache tiers, latency quantiles, and the
+    per-rank phase split of the most recent distributed run."""
+    from repro import telemetry
+
+    reg = telemetry.metrics()
+    latency = {}
+    for name in reg.names():
+        if name.startswith("service.latency."):
+            h = reg[name]
+            if getattr(h, "n", 0):
+                latency[name[len("service.latency."):]] = {
+                    "n": h.n,
+                    "p50": h.quantile(0.50),
+                    "p95": h.quantile(0.95),
+                    "p99": h.quantile(0.99),
+                    "max": h.max,
+                }
+    per_rank = None
+    for sim in list(engine.cache._mem.values()):
+        tl = getattr(getattr(sim, "solver", None), "last_timeline", None)
+        if tl is not None:
+            per_rank = tl.summary()["per_rank"]
+            break
+    return {
+        "served": served,
+        "failed": failed,
+        "queue": scheduler.queue_snapshot(),
+        "scheduler": scheduler.stats(),
+        "cache": engine.cache.stats(),
+        "drain": drain,
+        "pools": engine.stats()["pools"],
+        "latency": latency,
+        "per_rank": per_rank,
+    }
+
+
 def cmd_serve(args) -> int:
     """Drain the spool through a warm engine.
 
@@ -507,6 +545,11 @@ def cmd_serve(args) -> int:
     to ``<spool>/done``.  With ``--watch`` the server polls for new
     requests until interrupted; the default is one drain pass (empty
     spool = no-op), which is what the CI smoke drives.
+
+    Observability: ``--status-file`` publishes live state for ``repro
+    top``; ``--prometheus``/``--metrics-jsonl`` export the metric
+    registry; ``--trace-out`` dumps the request-stitched span trace.
+    Any of these flags turns telemetry on for the process.
     """
     import time as _time
 
@@ -518,11 +561,41 @@ def cmd_serve(args) -> int:
     done_dir = os.path.join(args.spool, "done")
     os.makedirs(done_dir, exist_ok=True)
 
+    exporting = bool(
+        args.status_file or args.prometheus
+        or args.metrics_jsonl or args.trace_out
+    )
+    if exporting and not telemetry.enabled():
+        telemetry.enable()
+    status = (
+        telemetry.StatusFile(args.status_file)
+        if args.status_file else None
+    )
+    jsonl = (
+        telemetry.MetricsJsonlExporter(args.metrics_jsonl)
+        if args.metrics_jsonl else None
+    )
+
     engine = Engine(capacity=args.capacity, disk_dir=args.cache_dir)
     scheduler = CoalescingScheduler(
         engine, max_batch=args.max_batch, max_wait=args.max_wait
     )
     served = failed = 0
+    drain = None
+    traces = []
+
+    def publish():
+        if status is not None:
+            status.write(
+                _serve_status_payload(
+                    engine, scheduler, served, failed, drain
+                )
+            )
+        if jsonl is not None:
+            jsonl.export()
+        if args.prometheus:
+            telemetry.write_prometheus(args.prometheus)
+
     try:
         while True:
             pending = sorted(
@@ -530,6 +603,7 @@ def cmd_serve(args) -> int:
                 if f.startswith("req-") and f.endswith(".json")
             )
             inflight = []
+            drain_base = engine.cache.counters()
             for fname in pending:
                 fpath = os.path.join(args.spool, fname)
                 with open(fpath) as f:
@@ -548,8 +622,8 @@ def cmd_serve(args) -> int:
                     ),
                     record=req.get("record", "velocity"),
                 )
-                inflight.append((fpath, req, scheduler.submit(request)))
-            for fpath, req, future in inflight:
+                inflight.append((fpath, req, request, scheduler.submit(request)))
+            for fpath, req, request, future in inflight:
                 out = os.path.join(args.out_dir, req["id"] + ".npz")
                 try:
                     seis = future.result()
@@ -566,10 +640,17 @@ def cmd_serve(args) -> int:
                         positions=seis.positions,
                     )
                     print(f"  {req['id']}: {out}")
+                if request.trace_id is not None:
+                    traces.append((req["id"], request.trace_id))
                 served += 1
                 os.replace(
                     fpath, os.path.join(done_dir, os.path.basename(fpath))
                 )
+            if inflight:
+                # per-drain cache scope: hit ratios of THIS drain, not
+                # the engine's lifetime totals
+                drain = engine.cache.stats_since(drain_base)
+            publish()
             if not args.watch:
                 break
             if not inflight:
@@ -579,6 +660,7 @@ def cmd_serve(args) -> int:
     finally:
         scheduler.close()
         engine.close()
+        publish()
 
     stats = engine.stats()
     sched = scheduler.stats()
@@ -591,15 +673,124 @@ def cmd_serve(args) -> int:
         f"artifact cache: {stats['hits']} hits / {stats['misses']} misses "
         f"({stats['entries']} live, {stats['disk_hits']} from disk)"
     )
+    if args.trace_out and telemetry.enabled():
+        extra = [
+            {"type": "request_trace", "request": rid, "trace": tid}
+            for rid, tid in traces
+        ]
+        for sim in list(engine.cache._mem.values()):
+            tl = getattr(
+                getattr(sim, "solver", None), "last_timeline", None
+            )
+            if tl is not None:
+                extra.extend(tl.span_records())
+        n = telemetry.dump_jsonl(args.trace_out, extra_records=extra)
+        print(f"trace: {n} records -> {args.trace_out}")
     if args.report:
+        service = {**stats, **sched}
+        if drain is not None:
+            service["drain"] = drain
         report = telemetry.PerfReport.collect(
             metrics=telemetry.metrics(),
-            service={**stats, **sched},
+            service=service,
             title="simulation service drain",
         )
         print()
         print(report.as_text())
     return 1 if failed else 0
+
+
+def cmd_top(args) -> int:
+    """Live service view: renders the status file ``repro serve
+    --status-file`` publishes.  One shot by default; ``--watch``
+    refreshes every ``--poll`` seconds until interrupted."""
+    import time as _time
+
+    from repro import telemetry
+
+    status = telemetry.StatusFile(args.status_file)
+
+    def render() -> bool:
+        snap = status.read()
+        if snap is None:
+            print(f"no status at {args.status_file} (is serve running "
+                  "with --status-file?)")
+            return False
+        age = _time.time() - snap.get("ts", 0.0)
+        lines = [
+            f"repro serve  pid {snap.get('pid', '?')}  "
+            f"(status age {age:.1f}s)",
+            f"  served {snap.get('served', 0)} "
+            f"({snap.get('failed', 0)} failed)",
+        ]
+        q = snap.get("queue") or {}
+        windows = q.get("open_windows") or []
+        busy = "dispatching" if q.get("dispatching") else "idle"
+        lines.append(
+            f"  windows: {len(windows)} open, {busy}"
+        )
+        for w in windows:
+            lines.append(
+                f"    {w['pending']}/{w['max_batch']} pending, "
+                f"{w['window_remaining'] * 1e3:.0f} ms remaining"
+            )
+        c = snap.get("cache") or {}
+        lines.append(
+            f"  cache: {c.get('entries', 0)}/{c.get('capacity', 0)} "
+            f"entries, {c.get('hits', 0)} hits / "
+            f"{c.get('misses', 0)} misses "
+            f"({100.0 * c.get('hit_rate', 0.0):.0f}%), "
+            f"{c.get('disk_hits', 0)} from disk"
+        )
+        d = snap.get("drain")
+        if d:
+            dh, dm = d.get("hits", 0), d.get("misses", 0)
+            dt = dh + dm
+            lines.append(
+                f"  last drain: {dh}/{dt} hits "
+                f"({100.0 * d.get('hit_rate', 0.0):.0f}%)"
+            )
+        pools = snap.get("pools") or {}
+        if pools:
+            running = sum(1 for v in pools.values() if v == "running")
+            lines.append(f"  pools: {running}/{len(pools)} running")
+        lat = snap.get("latency") or {}
+        if lat:
+            lines.append(
+                f"  {'latency':<10} {'n':>6} {'p50':>9} {'p95':>9} "
+                f"{'p99':>9}"
+            )
+            for stage, h in sorted(lat.items()):
+                lines.append(
+                    f"  {stage:<10} {h['n']:>6} "
+                    f"{h['p50'] * 1e3:>7.1f}ms {h['p95'] * 1e3:>7.1f}ms "
+                    f"{h['p99'] * 1e3:>7.1f}ms"
+                )
+        per_rank = snap.get("per_rank")
+        if per_rank:
+            lines.append("  per-rank phase split (last run):")
+            for row in per_rank:
+                tot = row["compute_seconds"] + row["comm_seconds"]
+                frac = row["compute_seconds"] / tot if tot else 0.0
+                lines.append(
+                    f"    rank {row['rank']}: compute "
+                    f"{row['compute_seconds']:.3f}s "
+                    f"comm {row['comm_seconds']:.3f}s "
+                    f"({100 * frac:.0f}% compute)"
+                )
+        print("\n".join(lines))
+        return True
+
+    if not args.watch:
+        return 0 if render() else 1
+    try:
+        while True:
+            print("\x1b[2J\x1b[H", end="")
+            render()
+            _time.sleep(args.poll)
+    except KeyboardInterrupt:
+        pass
+    return 0
 
 
 def cmd_profile(args) -> int:
@@ -742,7 +933,31 @@ def build_parser() -> argparse.ArgumentParser:
                     help="idle poll interval with --watch (s)")
     pv.add_argument("--report", action="store_true",
                     help="print the PerfReport service section after draining")
+    pv.add_argument("--status-file",
+                    help="publish live status JSON here (read by "
+                         "`repro top`); enables telemetry")
+    pv.add_argument("--prometheus",
+                    help="write Prometheus text-format metrics to this "
+                         "path after each drain; enables telemetry")
+    pv.add_argument("--metrics-jsonl",
+                    help="append a metrics snapshot (JSONL) per drain; "
+                         "enables telemetry")
+    pv.add_argument("--trace-out",
+                    help="dump the request-stitched span trace (JSONL) "
+                         "on exit; enables telemetry")
     pv.set_defaults(func=cmd_serve)
+
+    pt = sub.add_parser(
+        "top",
+        help="live view of a running `repro serve --status-file` process",
+    )
+    pt.add_argument("--status-file", required=True,
+                    help="status file the serve process publishes")
+    pt.add_argument("--watch", action="store_true",
+                    help="refresh continuously instead of one shot")
+    pt.add_argument("--poll", type=float, default=1.0,
+                    help="refresh interval with --watch (s)")
+    pt.set_defaults(func=cmd_top)
     return p
 
 

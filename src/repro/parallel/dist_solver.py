@@ -292,7 +292,12 @@ def _rank_program_lts(comm, payload):
     t_compute = 0.0
     t_wait = 0.0
     clock = time.perf_counter
-    tl = RankTimeline(rank, nsteps) if p.get("timeline") else None
+    tl = (
+        RankTimeline(rank, nsteps,
+                     trace_id=telemetry.get_trace_context())
+        if p.get("timeline")
+        else None
+    )
     dur = tl.durations if tl is not None else None
 
     mgr = None
@@ -464,7 +469,12 @@ def _rank_program(comm, payload):
     # process, so per-step timeline recording is requested through the
     # payload; the t0..t5 readings are taken either way (the scaling
     # benchmark consumes t_compute/t_wait), recording just keeps them
-    tl = RankTimeline(rank, nsteps) if p.get("timeline") else None
+    tl = (
+        RankTimeline(rank, nsteps,
+                     trace_id=telemetry.get_trace_context())
+        if p.get("timeline")
+        else None
+    )
     dur = tl.durations if tl is not None else None
 
     mgr = None
@@ -678,7 +688,12 @@ def _rank_program_fused(comm, payload):
     clock = time.perf_counter
     t_compute = 0.0
     t_wait = 0.0
-    tl = RankTimeline(rank, nsteps) if p.get("timeline") else None
+    tl = (
+        RankTimeline(rank, nsteps,
+                     trace_id=telemetry.get_trace_context())
+        if p.get("timeline")
+        else None
+    )
     dur = tl.durations if tl is not None else None
 
     mgr = None
@@ -1280,7 +1295,13 @@ class DistributedWaveSolver:
         # transport's (same ranks, steps, phases; wall times differ —
         # here the "overlap" phases are serialized on one core)
         tls = (
-            [RankTimeline(r, nsteps) for r in range(world.nranks)]
+            [
+                RankTimeline(
+                    r, nsteps,
+                    trace_id=telemetry.get_trace_context(),
+                )
+                for r in range(world.nranks)
+            ]
             if telemetry.enabled()
             else None
         )
@@ -1429,7 +1450,13 @@ class DistributedWaveSolver:
         comms = world.comms()
         force = _make_force_caller(force_fn, mesh.nnode)
         tls = (
-            [RankTimeline(r, nsteps) for r in range(world.nranks)]
+            [
+                RankTimeline(
+                    r, nsteps,
+                    trace_id=telemetry.get_trace_context(),
+                )
+                for r in range(world.nranks)
+            ]
             if telemetry.enabled()
             else None
         )
@@ -1697,7 +1724,13 @@ class DistributedWaveSolver:
         comms = world.comms()
         force = _make_force_caller(force_fn, self.mesh.nnode)
         tls = (
-            [RankTimeline(r, nsteps) for r in range(world.nranks)]
+            [
+                RankTimeline(
+                    r, nsteps,
+                    trace_id=telemetry.get_trace_context(),
+                )
+                for r in range(world.nranks)
+            ]
             if telemetry.enabled()
             else None
         )
@@ -1908,11 +1941,15 @@ class DistributedWaveSolver:
                 try:
                     timings = world.run_spmd(program, payloads)
                     break
-                except WorkerFailure:
+                except WorkerFailure as wf:
                     telemetry.count("resilience.worker_failures")
+                    # black box first: the flight recorder snapshot is
+                    # most useful before respawn/rewind mutate state
+                    telemetry.flight_dump(f"worker_failure: {wf}")
                     if not recoverable or attempt >= retry.max_retries:
                         raise
                     attempt += 1
+                    t_fail = time.perf_counter()
                     # respawn unconditionally: even a program-level
                     # failure leaves the channels with in-flight
                     # residue, so the pool gets fresh ones
@@ -1924,6 +1961,20 @@ class DistributedWaveSolver:
                     resume_step = collective_latest_step(
                         checkpoint_dir, world.nranks
                     )
+                    tr = telemetry.current_tracer()
+                    if tr is not None:
+                        # annotate the active request's trace with the
+                        # recovery window so a fault-injected request
+                        # still stitches into one complete trace
+                        tr.record_event(
+                            ("dist.run", "recovery"),
+                            t_fail,
+                            time.perf_counter() - t_fail,
+                            counters={
+                                "attempt": 1,
+                                "resume_step": resume_step,
+                            },
+                        )
             self.last_timings = timings
             if want_timeline:
                 self.last_timeline = MergedTimeline(

@@ -61,6 +61,7 @@ from multiprocessing import shared_memory
 import numpy as np
 
 from repro.parallel.simcomm import SimComm, TrafficStats
+from repro.telemetry import spans
 
 _HDR = 6  # per-slot header int64s: tag, ndim, shape[0..2], crc32
 
@@ -281,7 +282,13 @@ def _worker_main(rank, nranks, conn, send_chs, recv_chs, barrier,
         if msg[0] == "stop":
             conn.close()
             return
-        _, program, payload = msg
+        # run messages are ("run", program, payload) or, when the
+        # master has an active request trace, ("run", program,
+        # payload, trace_id) — length-guarded like the result tuple so
+        # either side can be the older protocol
+        program, payload = msg[1], msg[2]
+        trace_ctx = msg[3] if len(msg) > 3 else None
+        prev_trace = spans.set_trace_context(trace_ctx)
         try:
             result = program(comm, payload)
             conn.send(
@@ -301,6 +308,8 @@ def _worker_main(rank, nranks, conn, send_chs, recv_chs, barrier,
                 conn.send(("err", traceback.format_exc()))
             except Exception:
                 return
+        finally:
+            spans.set_trace_context(prev_trace)
 
 
 #: live worlds, closed at interpreter exit even when the owner's
@@ -413,10 +422,17 @@ class ProcWorld:
 
     # ------------------------------------------------------- execution
 
-    def run_spmd(self, program, payloads: list) -> list:
+    def run_spmd(self, program, payloads: list,
+                 trace_context: str | None = None) -> list:
         """Run ``program(comm, payload)`` on every rank concurrently;
         returns the per-rank results.  Worker traffic counts are merged
         into ``self.stats``.
+
+        ``trace_context`` piggybacks the master's request trace id on
+        the run message (a fourth tuple element, absent when None for
+        wire compatibility); workers set it as their ambient trace
+        context for the program's duration so per-rank timelines and
+        any worker-side spans stitch into the request's trace.
 
         Failures raise :class:`WorkerFailure`: program-level exceptions
         carry the failing ranks' tracebacks (``fatal=False``, pool
@@ -428,8 +444,13 @@ class ProcWorld:
             raise RuntimeError("world is closed")
         if len(payloads) != self.nranks:
             raise ValueError("one payload per rank required")
+        if trace_context is None:
+            trace_context = spans.get_trace_context()
         for r, pipe in enumerate(self._pipes):
-            pipe.send(("run", program, payloads[r]))
+            if trace_context is None:
+                pipe.send(("run", program, payloads[r]))
+            else:
+                pipe.send(("run", program, payloads[r], trace_context))
         results = [None] * self.nranks
         errors = []
         pending = set(range(self.nranks))

@@ -63,10 +63,14 @@ def check_finite(arr: np.ndarray, *, step: int | None = None,
     # slow path: the run is already lost, spend the pass to say where
     bad = int(np.count_nonzero(~np.isfinite(arr)))
     telemetry.count("resilience.health_violations")
-    raise NumericalHealthError(
+    err = NumericalHealthError(
         f"non-finite state: {bad} NaN/Inf entries", step=step, rank=rank,
         field=field,
     )
+    # black box before unwinding: the flight recorder (if armed) gets
+    # the last-N span events + metric snapshot at the failure point
+    telemetry.flight_dump(f"numerical_health: {err}")
+    raise err
 
 
 def should_check(k: int, nsteps: int, interval: int | None) -> bool:

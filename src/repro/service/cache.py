@@ -315,15 +315,46 @@ class ArtifactCache:
 
     def stats(self) -> dict:
         total = self.hits + self.misses
+        hit_rate = self.hits / total if total else 0.0
+        # live gauge for the exporters (a ratio is a gauge, not a
+        # counter: it moves both ways as traffic shifts)
+        telemetry.gauge("service.cache.hit_ratio", hit_rate)
         return {
             "entries": len(self._mem),
             "capacity": self.capacity,
             "hits": self.hits,
             "misses": self.misses,
-            "hit_rate": self.hits / total if total else 0.0,
+            "hit_rate": hit_rate,
             "disk_hits": self.disk_hits,
             "evictions": self.evictions,
             "corrupt_rejections": self.corrupt_rejections,
             "bytes_written": self.bytes_written,
             "build_seconds": self.build_seconds,
         }
+
+    # ------------------------------------------------- per-drain scope
+
+    #: the counter fields a drain-scoped report subtracts
+    COUNTER_FIELDS = (
+        "hits", "misses", "disk_hits", "evictions",
+        "corrupt_rejections", "bytes_written", "build_seconds",
+    )
+
+    def counters(self) -> dict:
+        """The raw cumulative counters — take one before a drain and
+        pass it to :meth:`stats_since` after, so repeated serve drains
+        report per-drain (not lifetime) hit ratios."""
+        return {f: getattr(self, f) for f in self.COUNTER_FIELDS}
+
+    def stats_since(self, baseline: dict) -> dict:
+        """Drain-scoped view: :meth:`stats` with every counter (and
+        the hit rate) computed relative to a :meth:`counters`
+        baseline.  Entries/capacity stay absolute — they describe the
+        cache, not the drain."""
+        s = self.stats()
+        for f in self.COUNTER_FIELDS:
+            s[f] = s[f] - baseline.get(f, 0)
+        total = s["hits"] + s["misses"]
+        s["hit_rate"] = s["hits"] / total if total else 0.0
+        telemetry.gauge("service.cache.drain_hit_ratio", s["hit_rate"])
+        return s

@@ -167,24 +167,30 @@ class Engine:
         *,
         receivers: np.ndarray | None = None,
         record: str = "velocity",
+        trace_id: str | None = None,
         **run_kwargs,
     ):
         """One forward run against warm state; returns the
         :class:`~repro.core.simulation.ForwardResult`.  Identical
         dispatch to ``ForwardSimulation.run`` — a warm submit differs
         from a cold library call only in skipping construction, so the
-        trajectory is bitwise the same."""
+        trajectory is bitwise the same.  ``trace_id`` scopes the run's
+        spans (and any distributed per-rank timelines) to that trace."""
         sim = self.simulation(spec)
         self.submitted += 1
         telemetry.count("service.submits")
-        with telemetry.span("service.run"):
-            return sim.run(
-                scenario,
-                t_end,
-                receivers=receivers,
-                record=record,
-                **run_kwargs,
-            )
+        with telemetry.trace_context(
+            trace_id if trace_id is not None
+            else telemetry.get_trace_context()
+        ):
+            with telemetry.span("service.run"):
+                return sim.run(
+                    scenario,
+                    t_end,
+                    receivers=receivers,
+                    record=record,
+                    **run_kwargs,
+                )
 
     def submit_batch(
         self,
@@ -239,6 +245,13 @@ class Engine:
             )
             for key, world in self._pools.items()
         }
+        # pool-health gauges ride along whenever stats are read (the
+        # serve loop polls this once per drain, not per request)
+        running = sum(
+            1 for w in self._pools.values() if not w.closed
+        )
+        telemetry.gauge("service.pools.running", running)
+        telemetry.gauge("service.pools.total", len(self._pools))
         return s
 
     def close(self) -> None:

@@ -42,13 +42,18 @@ __all__ = ["ForwardRequest", "CoalescingScheduler"]
 
 @dataclass
 class ForwardRequest:
-    """One independently-arriving forward-simulation request."""
+    """One independently-arriving forward-simulation request.
+
+    ``trace_id`` names this request's end-to-end trace; the scheduler
+    mints one on submit while telemetry is enabled (callers may set
+    their own to join a larger trace)."""
 
     spec: SimulationSpec
     scenario: object
     t_end: float
     receivers: np.ndarray | None = None
     record: str = "velocity"
+    trace_id: str | None = None
 
     def group_key(self) -> tuple:
         """What a fused time loop must agree on: the artifact key (one
@@ -65,12 +70,16 @@ class ForwardRequest:
 class _Group:
     """Pending requests sharing a group key (one open window)."""
 
-    __slots__ = ("requests", "futures", "deadline")
+    __slots__ = ("requests", "futures", "deadline", "t_open", "t_enq")
 
-    def __init__(self, deadline: float):
+    def __init__(self, deadline: float, t_open: float = 0.0):
         self.requests: list[ForwardRequest] = []
         self.futures: list[Future] = []
         self.deadline = deadline
+        # latency bookkeeping (perf_counter readings), only written
+        # while telemetry is enabled
+        self.t_open = t_open
+        self.t_enq: list[float] = []
 
 
 class CoalescingScheduler:
@@ -122,16 +131,24 @@ class CoalescingScheduler:
         :class:`~repro.io.seismogram.Seismograms` (or None without
         receivers) once its batch has run."""
         future: Future = Future()
+        instrumented = telemetry.enabled()
         with self._wake:
             if self._closed:
                 raise RuntimeError("scheduler is closed")
             key = request.group_key()
             group = self._groups.get(key)
             if group is None:
-                group = _Group(time.monotonic() + self.max_wait)
+                group = _Group(
+                    time.monotonic() + self.max_wait,
+                    time.perf_counter() if instrumented else 0.0,
+                )
                 self._groups[key] = group
             group.requests.append(request)
             group.futures.append(future)
+            if instrumented:
+                if request.trace_id is None:
+                    request.trace_id = telemetry.new_trace_id()
+                group.t_enq.append(time.perf_counter())
             self.requests += 1
             telemetry.count("service.requests")
             self._wake.notify()
@@ -210,28 +227,79 @@ class CoalescingScheduler:
         telemetry.count("service.batches")
         telemetry.count("service.coalesced", B - 1)
         first = requests[0]
+        # one trace for the shared solve; each member request's trace
+        # links to it so stitching a request pulls in the batch's
+        # solver spans and per-rank phase split
+        tr = telemetry.current_tracer()
+        batch_trace = None
+        if tr is not None:
+            batch_trace = telemetry.new_trace_id()
+            for r in requests:
+                if r.trace_id is not None:
+                    tr.link_trace(r.trace_id, batch_trace)
+            t_dispatch = time.perf_counter()
         try:
-            with telemetry.span("service.dispatch") as _s:
-                _s.add("batch", B)
-                results = self.engine.submit_batch(
-                    first.spec,
-                    [r.scenario for r in requests],
-                    first.t_end,
-                    receivers=(
-                        [r.receivers for r in requests]
-                        if first.receivers is not None
-                        else None
-                    ),
-                    record=first.record,
-                )
+            with telemetry.trace_context(batch_trace):
+                with telemetry.span("service.dispatch") as _s:
+                    _s.add("batch", B)
+                    results = self.engine.submit_batch(
+                        first.spec,
+                        [r.scenario for r in requests],
+                        first.t_end,
+                        receivers=(
+                            [r.receivers for r in requests]
+                            if first.receivers is not None
+                            else None
+                        ),
+                        record=first.record,
+                    )
         except BaseException as e:
             for f in futures:
                 f.set_exception(e)
             return
         if results is None:
             results = [None] * B
+        t_solved = time.perf_counter() if tr is not None else 0.0
         for f, seis in zip(futures, results):
             f.set_result(seis)
+        if tr is not None:
+            t_done = time.perf_counter()
+            solve = t_solved - t_dispatch
+            demux = t_done - t_solved
+            coalesce = (
+                t_dispatch - group.t_open if group.t_open else 0.0
+            )
+            telemetry.observe("service.latency.solve", solve)
+            telemetry.observe("service.latency.demux", demux)
+            telemetry.observe("service.latency.coalesce", coalesce)
+            telemetry.observe("service.batch_size", B)
+            tr.record_event(
+                ("service.dispatch", "demux"),
+                t_solved,
+                demux,
+                trace_id=batch_trace,
+            )
+            for i, r in enumerate(requests):
+                t_enq = (
+                    group.t_enq[i] if i < len(group.t_enq) else t_dispatch
+                )
+                queue = t_dispatch - t_enq
+                total = t_done - t_enq
+                telemetry.observe("service.latency.queue", queue)
+                telemetry.observe("service.latency.total", total)
+                tr.record_event(
+                    ("service.request", "queue"),
+                    t_enq,
+                    queue,
+                    trace_id=r.trace_id,
+                )
+                tr.record_event(
+                    ("service.request",),
+                    t_enq,
+                    total,
+                    trace_id=r.trace_id,
+                    counters={"batch": B},
+                )
 
     # -------------------------------------------------------- lifetime
 
@@ -245,6 +313,25 @@ class CoalescingScheduler:
                 self.requests / self.batches if self.batches else 0.0
             ),
         }
+
+    def queue_snapshot(self) -> dict:
+        """Point-in-time live state for the status file: open windows
+        (occupancy + remaining wait) and whether a batch is in flight.
+        Taken under the scheduler lock, so it is a consistent view."""
+        now = time.monotonic()
+        with self._wake:
+            windows = [
+                {
+                    "pending": len(g.requests),
+                    "max_batch": self.max_batch,
+                    "window_remaining": max(g.deadline - now, 0.0),
+                }
+                for g in self._groups.values()
+            ]
+            return {
+                "open_windows": windows,
+                "dispatching": bool(self._dispatching),
+            }
 
     def close(self, *, wait: bool = True) -> None:
         """Stop accepting requests; drain open windows, then stop the

@@ -38,7 +38,11 @@ from .spans import (
     annotate,
     current_tracer,
     enabled,
+    get_trace_context,
+    new_trace_id,
+    set_trace_context,
     span,
+    trace_context,
 )
 from .spans import disable as _spans_disable
 from .spans import enable as _spans_enable
@@ -65,12 +69,18 @@ __all__ = [
     "dump_jsonl",
     "enable",
     "enabled",
+    "flight_dump",
     "gauge",
+    "get_trace_context",
     "metrics",
+    "new_trace_id",
+    "observe",
     "reset",
     "sample",
     "sample_alloc",
+    "set_trace_context",
     "span",
+    "trace_context",
 ]
 
 #: process-wide metrics registry; like the tracer it is always present
@@ -126,6 +136,13 @@ def count(name: str, n: int = 1) -> None:
         _registry.counter(name).add(n)
 
 
+def observe(name: str, value) -> None:
+    """Observe ``value`` in the histogram ``name`` (service latency
+    distributions, batch sizes).  No-op while telemetry is disabled."""
+    if enabled():
+        _registry.histogram(name).observe(value)
+
+
 def sample_alloc(name: str = "alloc.peak_bytes", step=None) -> None:
     """Sample the current traced-memory peak (bytes) into a series.
 
@@ -146,6 +163,7 @@ def dump_jsonl(path: str, *, extra_records=()) -> int:
     tr = current_tracer()
     if tr is None:
         return 0
+    sync_dropped_counter()
     metric_records = [
         {**m, "metric_type": m["type"], "type": "metric", "name": name}
         for name, m in _registry.as_dict().items()
@@ -153,3 +171,45 @@ def dump_jsonl(path: str, *, extra_records=()) -> int:
     return tr.dump_jsonl(
         path, extra_records=list(extra_records) + metric_records
     )
+
+
+def sync_dropped_counter() -> None:
+    """Mirror the tracer's ring-buffer eviction count into the
+    ``telemetry.events.dropped`` counter.  Called at export time (not
+    per eviction) so the hot path stays one ``is None`` test."""
+    tr = current_tracer()
+    if tr is not None and tr.dropped_events:
+        c = _registry.counter("telemetry.events.dropped")
+        c.value = tr.dropped_events
+
+
+def flight_dump(reason: str) -> str | None:
+    """Dump the flight recorder (last-N span events + metric snapshot)
+    if one is armed; returns the artifact path or None.  See
+    :func:`repro.telemetry.export.arm_flight_recorder`."""
+    from .export import flight_dump as _dump
+
+    return _dump(reason)
+
+
+# imported last: export builds on the registry/tracer defined above
+from .export import (  # noqa: E402
+    FlightRecorder,
+    MetricsJsonlExporter,
+    StatusFile,
+    arm_flight_recorder,
+    prometheus_text,
+    stitch_trace,
+    write_prometheus,
+)
+
+__all__ += [
+    "FlightRecorder",
+    "MetricsJsonlExporter",
+    "StatusFile",
+    "arm_flight_recorder",
+    "prometheus_text",
+    "stitch_trace",
+    "sync_dropped_counter",
+    "write_prometheus",
+]

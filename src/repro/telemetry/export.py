@@ -1,0 +1,401 @@
+"""Telemetry exporters: Prometheus text, JSONL snapshots, trace
+stitching, the serve status file, and the flight recorder.
+
+Four consumers of the same collected state:
+
+* :func:`prometheus_text` renders the :class:`MetricsRegistry` in the
+  Prometheus exposition format (counters as ``_total``, histograms as
+  summaries with ``quantile`` labels) for a scrape endpoint or a
+  node-exporter textfile collector;
+* :class:`MetricsJsonlExporter` appends periodic registry snapshots to
+  a JSONL file — the poor man's time-series database;
+* :func:`stitch_trace` reassembles one request's end-to-end trace from
+  the span event ring + trace links + per-rank timeline records;
+* :class:`StatusFile` atomically publishes the live service state that
+  ``repro top`` renders, and :class:`FlightRecorder` dumps the last-N
+  events + a metric snapshot when resilience detects a dead rank or a
+  numerical health violation.
+
+Everything here runs at export time, never on the hot path: the only
+cost telemetry-off code pays for this module existing is the import.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import time
+
+__all__ = [
+    "FlightRecorder",
+    "MetricsJsonlExporter",
+    "StatusFile",
+    "arm_flight_recorder",
+    "flight_dump",
+    "prometheus_text",
+    "stitch_trace",
+    "write_prometheus",
+]
+
+#: quantiles rendered for every histogram, in exposition order
+QUANTILES = (0.5, 0.95, 0.99)
+
+
+def _prom_name(name: str) -> str:
+    """Map a dotted metric name to a Prometheus-legal one."""
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() or ch == "_" else "_")
+    s = "".join(out)
+    if s and s[0].isdigit():
+        s = "_" + s
+    return "repro_" + s
+
+
+def _finite(v) -> float:
+    return float(v) if v is not None else 0.0
+
+
+def prometheus_text(registry=None, *, include_spans: bool = True) -> str:
+    """The metrics registry (and, optionally, top-level span totals)
+    in the Prometheus text exposition format, version 0.0.4."""
+    from repro import telemetry as T
+
+    if registry is None:
+        T.sync_dropped_counter()
+        registry = T.metrics()
+    lines: list[str] = []
+    for name, m in sorted(registry.as_dict().items()):
+        pname = _prom_name(name)
+        kind = m["type"]
+        if kind == "counter":
+            lines.append(f"# TYPE {pname}_total counter")
+            lines.append(f"{pname}_total {m['value']}")
+        elif kind == "gauge":
+            lines.append(f"# TYPE {pname} gauge")
+            lines.append(f"{pname} {_finite(m['value'])}")
+        elif kind == "histogram":
+            # rendered as a summary: quantile-labelled gauges + the
+            # canonical _sum/_count pair
+            lines.append(f"# TYPE {pname} summary")
+            hist = registry[name]
+            for q in QUANTILES:
+                lines.append(
+                    f'{pname}{{quantile="{q}"}} {hist.quantile(q)}'
+                )
+            lines.append(f"{pname}_sum {hist.sum}")
+            lines.append(f"{pname}_count {hist.n}")
+        elif kind == "series":
+            if m["values"]:
+                lines.append(f"# TYPE {pname} gauge")
+                lines.append(f"{pname} {m['values'][-1]}")
+    if include_spans:
+        tr = T.current_tracer()
+        if tr is not None:
+            lines.append("# TYPE repro_span_seconds counter")
+            lines.append("# TYPE repro_span_calls_total counter")
+            for agg in tr.aggregates():
+                label = agg["path"].replace('"', "'")
+                lines.append(
+                    f'repro_span_seconds{{path="{label}"}} '
+                    f'{agg["seconds"]}'
+                )
+                lines.append(
+                    f'repro_span_calls_total{{path="{label}"}} '
+                    f'{agg["count"]}'
+                )
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(path: str, registry=None) -> None:
+    """Atomically write :func:`prometheus_text` to ``path`` (the
+    node-exporter textfile-collector contract)."""
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w") as f:
+        f.write(prometheus_text(registry))
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, path)
+
+
+class MetricsJsonlExporter:
+    """Appends registry snapshots to a JSONL file, one object per
+    line: ``{"ts": ..., "seq": ..., "metrics": {...}}``.
+
+    Driven by whoever owns a convenient loop (the serve drain calls
+    :meth:`maybe_export` once per poll); no thread of its own, so
+    arming it costs nothing between calls."""
+
+    def __init__(self, path: str, interval: float | None = None):
+        self.path = path
+        self.interval = interval
+        self.seq = 0
+        self._last = -float("inf")
+
+    def export(self, extra: dict | None = None) -> int:
+        """Write one snapshot now; returns the sequence number."""
+        from repro import telemetry as T
+
+        T.sync_dropped_counter()
+        rec = {
+            "ts": time.time(),
+            "seq": self.seq,
+            "metrics": T.metrics().as_dict(),
+        }
+        if extra:
+            rec.update(extra)
+        with open(self.path, "a") as f:
+            f.write(json.dumps(rec) + "\n")
+        self.seq += 1
+        self._last = time.monotonic()
+        return self.seq - 1
+
+    def maybe_export(self, extra: dict | None = None) -> bool:
+        """Write a snapshot if ``interval`` seconds have elapsed since
+        the last one (always writes when ``interval`` is None)."""
+        if (
+            self.interval is not None
+            and time.monotonic() - self._last < self.interval
+        ):
+            return False
+        self.export(extra)
+        return True
+
+
+# ---------------------------------------------------------- stitching
+
+
+def _linked_ids(trace_id: str, links: dict[str, str]) -> set[str]:
+    """The trace ids reachable from ``trace_id``: its ancestors (the
+    batches it was solved inside) and every descendant of those."""
+    ids = {trace_id}
+    # walk up the parent chain
+    cur = trace_id
+    seen = set()
+    while cur in links and cur not in seen:
+        seen.add(cur)
+        cur = links[cur]
+        ids.add(cur)
+    # include descendants of anything collected so far (other requests
+    # in the same batch are *not* pulled in: only ids whose ancestor
+    # chain passes through trace_id itself or its ancestors via the
+    # solve side, i.e. children of the batch that are not peers)
+    return ids
+
+
+def stitch_trace(trace_id: str, tracer=None, extra_records=()) -> dict:
+    """Reassemble one request's end-to-end trace.
+
+    Collects every ring-buffer event tagged with ``trace_id`` or with
+    a trace linked to it (the coalesced batch's solve spans), plus any
+    ``extra_records`` (per-rank timeline ``rank_span`` records)
+    carrying a matching ``trace`` field.  Returns::
+
+        {"trace": id, "linked": [...], "events": [...],
+         "rank_spans": [...], "t_start": ..., "duration": ...}
+
+    Events are ``{"path", "t_start", "duration", "trace"}`` sorted by
+    start time on the tracer clock.
+    """
+    from repro import telemetry as T
+
+    if tracer is None:
+        tracer = T.current_tracer()
+    if tracer is None:
+        return {"trace": trace_id, "linked": [], "events": [],
+                "rank_spans": [], "t_start": None, "duration": 0.0}
+    ids = _linked_ids(trace_id, tracer.trace_links)
+    paths: dict[int, str] = {}
+
+    def visit(node, prefix):
+        p = prefix + (node.name,)
+        paths[id(node)] = "/".join(p)
+        for c in node.children.values():
+            visit(c, p)
+
+    for c in tracer.root.children.values():
+        visit(c, ())
+    events = [
+        {
+            "path": paths[id(node)],
+            "t_start": t0,
+            "duration": dt,
+            "trace": trace,
+        }
+        for node, t0, dt, trace in tracer.events
+        if trace in ids
+    ]
+    events.sort(key=lambda e: e["t_start"])
+    rank_spans = [
+        dict(rec)
+        for rec in extra_records
+        if rec.get("type") == "rank_span" and rec.get("trace") in ids
+    ]
+    if events:
+        t_start = events[0]["t_start"]
+        t_end = max(e["t_start"] + e["duration"] for e in events)
+        duration = t_end - t_start
+    else:
+        t_start, duration = None, 0.0
+    return {
+        "trace": trace_id,
+        "linked": sorted(ids - {trace_id}),
+        "events": events,
+        "rank_spans": rank_spans,
+        "t_start": t_start,
+        "duration": duration,
+    }
+
+
+# ---------------------------------------------------------- status file
+
+
+class StatusFile:
+    """Atomically-published JSON status for live monitoring.
+
+    ``repro serve`` writes it after every poll/drain; ``repro top``
+    (or anything else) reads it without coordination — the write is
+    tmp + ``os.replace`` so a reader never sees a torn file."""
+
+    def __init__(self, path: str):
+        self.path = path
+
+    def write(self, payload: dict) -> None:
+        rec = {"ts": time.time(), "pid": os.getpid(), **payload}
+        tmp = f"{self.path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as f:
+            json.dump(rec, f, indent=2, default=str)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, self.path)
+
+    def read(self) -> dict | None:
+        try:
+            with open(self.path) as f:
+                return json.load(f)
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+
+
+# ------------------------------------------------------ flight recorder
+
+
+class FlightRecorder:
+    """Postmortem dumper: when resilience detects a dead/hung rank or
+    a numerical health violation, :meth:`dump` snapshots the last N
+    span events, the trace links, and the full metric registry to one
+    JSONL artifact — the black box for the fault, no log archaeology.
+    """
+
+    def __init__(self, out_dir: str, max_events: int = 512):
+        self.out_dir = out_dir
+        self.max_events = int(max_events)
+        self._seq = itertools.count(1)
+
+    def dump(self, reason: str) -> str:
+        from repro import telemetry as T
+
+        os.makedirs(self.out_dir, exist_ok=True)
+        path = os.path.join(
+            self.out_dir,
+            f"flight-{os.getpid()}-{next(self._seq):03d}.jsonl",
+        )
+        T.sync_dropped_counter()
+        tr = T.current_tracer()
+        with open(path, "w") as f:
+            f.write(
+                json.dumps(
+                    {
+                        "type": "flight_meta",
+                        "reason": reason,
+                        "ts": time.time(),
+                        "pid": os.getpid(),
+                        "telemetry_enabled": tr is not None,
+                        "dropped_events": (
+                            tr.dropped_events if tr is not None else 0
+                        ),
+                        "trace_context": T.get_trace_context(),
+                    }
+                )
+                + "\n"
+            )
+            if tr is not None:
+                paths: dict[int, str] = {}
+
+                def visit(node, prefix):
+                    p = prefix + (node.name,)
+                    paths[id(node)] = "/".join(p)
+                    for c in node.children.values():
+                        visit(c, p)
+
+                for c in tr.root.children.values():
+                    visit(c, ())
+                tail = list(tr.events)[-self.max_events:]
+                for node, t0, dt, trace in tail:
+                    rec = {
+                        "type": "event",
+                        "path": paths[id(node)],
+                        "t_start": t0,
+                        "duration": dt,
+                    }
+                    if trace is not None:
+                        rec["trace"] = trace
+                    f.write(json.dumps(rec) + "\n")
+                for child, parent in tr.trace_links.items():
+                    f.write(
+                        json.dumps(
+                            {
+                                "type": "trace_link",
+                                "trace": child,
+                                "parent": parent,
+                            }
+                        )
+                        + "\n"
+                    )
+            for name, m in T.metrics().as_dict().items():
+                f.write(
+                    json.dumps(
+                        {
+                            **m,
+                            "metric_type": m["type"],
+                            "type": "metric",
+                            "name": name,
+                        }
+                    )
+                    + "\n"
+                )
+        return path
+
+
+#: the armed recorder, or None — faults are rare, so the failure paths
+#: that call :func:`flight_dump` pay one ``is None`` test at most
+_flight: FlightRecorder | None = None
+
+
+def arm_flight_recorder(
+    out_dir: str | None, max_events: int = 512
+) -> FlightRecorder | None:
+    """Arm (or, with ``None``, disarm) the process-wide flight
+    recorder; returns it."""
+    global _flight
+    _flight = (
+        None if out_dir is None else FlightRecorder(out_dir, max_events)
+    )
+    return _flight
+
+
+def flight_dump(reason: str) -> str | None:
+    """Dump the armed flight recorder; returns the artifact path, or
+    None when no recorder is armed."""
+    if _flight is None:
+        return None
+    return _flight.dump(reason)
+
+
+# environment arming: REPRO_FLIGHT_DIR=<dir> arms the recorder at
+# import so CI fault matrices collect postmortems without code changes
+_env_dir = os.environ.get("REPRO_FLIGHT_DIR", "").strip()
+if _env_dir:
+    arm_flight_recorder(_env_dir)
+del _env_dir

@@ -94,10 +94,20 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming moments + extremes (no buckets: the reports need
-    count/mean/min/max, and keeping raw samples is the Series' job)."""
+    """Streaming moments + extremes + quantiles.
 
-    __slots__ = ("name", "n", "sum", "sumsq", "min", "max")
+    Up to :data:`EXACT_CAP` samples are kept verbatim, so service-scale
+    populations (thousands of request latencies) get *exact* p50/p95/
+    p99.  Past the cap the kept samples stop growing and observations
+    fall into log2 magnitude buckets (one per binary exponent — bounded
+    memory for any value range), from which quantiles are interpolated
+    geometrically; worst-case error is the bucket width (~2x), which is
+    the right trade for a metric that only feeds dashboards."""
+
+    EXACT_CAP = 4096
+
+    __slots__ = ("name", "n", "sum", "sumsq", "min", "max",
+                 "samples", "buckets")
 
     def __init__(self, name: str):
         self.name = name
@@ -106,6 +116,8 @@ class Histogram:
         self.sumsq = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self.samples: list[float] = []
+        self.buckets: dict[int, int] | None = None
 
     def observe(self, value) -> None:
         value = float(value)
@@ -114,6 +126,28 @@ class Histogram:
         self.sumsq += value * value
         self.min = min(self.min, value)
         self.max = max(self.max, value)
+        if self.buckets is None:
+            self.samples.append(value)
+            if len(self.samples) > self.EXACT_CAP:
+                # spill everything kept so far into buckets and stop
+                # holding raw samples
+                self.buckets = {}
+                for v in self.samples:
+                    b = self._bucket(v)
+                    self.buckets[b] = self.buckets.get(b, 0) + 1
+                self.samples = []
+        else:
+            b = self._bucket(value)
+            self.buckets[b] = self.buckets.get(b, 0) + 1
+
+    @staticmethod
+    def _bucket(value: float) -> int:
+        # binary exponent of |value|; 0 and subnormal-small map to a
+        # sentinel floor bucket
+        a = abs(value)
+        if a < 1e-300:
+            return -1024
+        return math.frexp(a)[1]
 
     @property
     def mean(self) -> float:
@@ -126,8 +160,41 @@ class Histogram:
         var = max(self.sumsq / self.n - self.mean**2, 0.0)
         return math.sqrt(var)
 
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (0 <= q <= 1) of everything observed —
+        exact (linear interpolation between order statistics) while
+        under :data:`EXACT_CAP` samples, bucket-interpolated beyond."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.n == 0:
+            return 0.0
+        if self.buckets is None:
+            xs = sorted(self.samples)
+            pos = q * (len(xs) - 1)
+            lo = int(pos)
+            hi = min(lo + 1, len(xs) - 1)
+            frac = pos - lo
+            return xs[lo] * (1.0 - frac) + xs[hi] * frac
+        # bucketed: walk cumulative counts, interpolate inside the
+        # bucket geometrically between its bounds [2^(e-1), 2^e), and
+        # clamp to the exact extremes (still tracked past the cap)
+        target = q * self.n
+        acc = 0
+        for e in sorted(self.buckets):
+            cnt = self.buckets[e]
+            if acc + cnt >= target:
+                if e == -1024:
+                    return 0.0
+                lo_edge = math.ldexp(1.0, e - 1)
+                hi_edge = math.ldexp(1.0, e)
+                frac = (target - acc) / cnt
+                est = lo_edge + frac * (hi_edge - lo_edge)
+                return min(max(est, self.min), self.max)
+            acc += cnt
+        return self.max
+
     def as_dict(self) -> dict:
-        return {
+        d = {
             "type": "histogram",
             "n": self.n,
             "mean": self.mean,
@@ -135,6 +202,11 @@ class Histogram:
             "min": None if self.n == 0 else self.min,
             "max": None if self.n == 0 else self.max,
         }
+        if self.n:
+            d["p50"] = self.quantile(0.50)
+            d["p95"] = self.quantile(0.95)
+            d["p99"] = self.quantile(0.99)
+        return d
 
 
 class Series:

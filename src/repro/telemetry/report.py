@@ -339,6 +339,15 @@ class PerfReport:
                 f"build time saved "
                 f"{_fmt(sv.get('build_seconds'), 6, 2)}s/build"
             )
+            drain = sv.get("drain")
+            if drain:
+                dh, dm = drain.get("hits", 0), drain.get("misses", 0)
+                dt = dh + dm
+                lines.append(
+                    f"  this drain: {dh}/{dt} hits "
+                    f"({100.0 * dh / dt if dt else 0.0:.0f}%), "
+                    f"build {_fmt(drain.get('build_seconds'), 6, 2)}s"
+                )
             if sv.get("requests"):
                 lines.append(
                     f"  coalescing: {sv['requests']} requests in "
@@ -346,6 +355,36 @@ class PerfReport:
                     f"(mean width {_fmt(sv.get('mean_batch'), 5, 2)}, "
                     f"max {sv.get('max_batch_observed', 1)})"
                 )
+        lat = {
+            name: m
+            for name, m in self.metrics.items()
+            if name.startswith("service.latency.")
+            and m.get("type") == "histogram"
+            and m.get("n")
+        }
+        if lat:
+            lines.append("")
+            lines.append("service latency quantiles (seconds)")
+            lines.append(
+                f"{'stage':<12} {'n':>6} {'p50':>10} {'p95':>10} "
+                f"{'p99':>10} {'max':>10}"
+            )
+            lines.append("-" * 62)
+            for name, m in sorted(lat.items()):
+                stage = name[len("service.latency."):]
+                lines.append(
+                    f"{stage:<12} {m['n']:>6} {_fmt(m.get('p50'))} "
+                    f"{_fmt(m.get('p95'))} {_fmt(m.get('p99'))} "
+                    f"{_fmt(m.get('max'))}"
+                )
+        dropped = self.metrics.get("telemetry.events.dropped")
+        if dropped and dropped.get("value"):
+            lines.append("")
+            lines.append(
+                f"telemetry: {dropped['value']} span events evicted "
+                "from the ring buffer (raise max_events for full "
+                "traces)"
+            )
         if self.efficiency is not None:
             lines.append("")
             lines.append(

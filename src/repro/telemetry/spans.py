@@ -19,9 +19,11 @@ rather than silently lost.
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import time
+from collections import deque
 from typing import Iterator
 
 __all__ = [
@@ -33,7 +35,11 @@ __all__ = [
     "disable",
     "enable",
     "enabled",
+    "get_trace_context",
+    "new_trace_id",
+    "set_trace_context",
     "span",
+    "trace_context",
 ]
 
 
@@ -53,6 +59,62 @@ class _NullSpan:
 
 
 _NULL_SPAN = _NullSpan()
+
+
+# ------------------------------------------------------- trace context
+#
+# A *trace id* names one request end to end: the scheduler mints one
+# per submitted job, the service sets it as the ambient context around
+# the solve, and every recorded span event (plus the per-rank
+# timelines, which ship it through the ProcWorld pipe protocol) is
+# tagged with it — so the exporter can stitch queue wait, coalescing
+# window, solve phases, and demux back into one per-request trace.
+# The context is independent of whether telemetry is enabled: worker
+# processes run with telemetry off but still need to label the
+# timelines they return.
+
+_trace_seq = itertools.count(1)
+_TRACE_CTX: str | None = None
+
+
+def new_trace_id() -> str:
+    """Mint a process-unique trace id (pid-qualified so ids minted by
+    different serve processes sharing one spool never collide)."""
+    return f"t{os.getpid():x}-{next(_trace_seq):06x}"
+
+
+def set_trace_context(trace_id: str | None) -> str | None:
+    """Set the ambient trace id; returns the previous one (restore it
+    when done, or use the :func:`trace_context` manager)."""
+    global _TRACE_CTX
+    prev = _TRACE_CTX
+    _TRACE_CTX = trace_id
+    return prev
+
+
+def get_trace_context() -> str | None:
+    """The ambient trace id, or None outside any request."""
+    return _TRACE_CTX
+
+
+class trace_context:
+    """``with trace_context("t1-0001"): ...`` — span events recorded
+    inside the block are tagged with the id; nesting restores the
+    outer id on exit.  ``None`` clears the context for the block."""
+
+    __slots__ = ("_trace_id", "_prev")
+
+    def __init__(self, trace_id: str | None):
+        self._trace_id = trace_id
+        self._prev = None
+
+    def __enter__(self) -> "trace_context":
+        self._prev = set_trace_context(self._trace_id)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        set_trace_context(self._prev)
+        return False
 
 
 class SpanStats:
@@ -117,10 +179,14 @@ class _Span:
         node.count += 1
         tr = self._tracer
         tr._stack.pop()
-        if len(tr.events) < tr.max_events:
-            tr.events.append((node, self._t0 - tr.t_origin, dt))
-        else:
+        events = tr.events
+        if len(events) >= tr.max_events:
+            # ring semantics: evict the oldest so the stream always
+            # holds the most recent window (what a postmortem wants),
+            # and count the eviction instead of losing it silently
+            events.popleft()
             tr.dropped_events += 1
+        events.append((node, self._t0 - tr.t_origin, dt, _TRACE_CTX))
         return False
 
     def add(self, counter: str, value) -> "_Span":
@@ -134,8 +200,11 @@ class Tracer:
     def __init__(self, max_events: int = 65536):
         self.root = SpanStats("<root>", -1)
         self.max_events = int(max_events)
-        self.events: list[tuple[SpanStats, float, float]] = []
+        # ring buffer of (node, t_start_rel, duration, trace_id) — the
+        # oldest interval is evicted (and counted) once the cap is hit
+        self.events: deque[tuple[SpanStats, float, float, str | None]] = deque()
         self.dropped_events = 0
+        self.trace_links: dict[str, str] = {}
         self.t_origin = time.perf_counter()
         self._stack: list[SpanStats] = [self.root]
 
@@ -159,6 +228,43 @@ class Tracer:
         for name in path:
             node = node.child(name)
         node.add_counter(counter, value)
+
+    def record_event(
+        self,
+        path: tuple[str, ...],
+        t_start: float,
+        duration: float,
+        *,
+        trace_id: str | None = None,
+        counters: dict | None = None,
+    ) -> None:
+        """Record an interval measured outside a ``with span`` block
+        (e.g. queue wait reconstructed from an enqueue timestamp, or a
+        recovery window around a respawn).  ``t_start`` is an absolute
+        ``time.perf_counter()`` reading; the aggregate node at ``path``
+        accumulates it like a normal span entry."""
+        node = self.root
+        for name in path:
+            node = node.child(name)
+        node.seconds += duration
+        node.count += 1
+        if counters:
+            for k, v in counters.items():
+                node.add_counter(k, v)
+        events = self.events
+        if len(events) >= self.max_events:
+            events.popleft()
+            self.dropped_events += 1
+        if trace_id is None:
+            trace_id = _TRACE_CTX
+        events.append((node, t_start - self.t_origin, duration, trace_id))
+
+    def link_trace(self, child: str, parent: str) -> None:
+        """Declare that trace ``child`` was carried out inside trace
+        ``parent`` (a request solved within a coalesced batch).  The
+        stitcher follows these links so a request's trace includes the
+        batch's solve spans and per-rank phase split."""
+        self.trace_links[child] = parent
 
     # --------------------------------------------------------- reporting
 
@@ -229,15 +335,21 @@ class Tracer:
             for agg in self.aggregates():
                 f.write(json.dumps({"type": "span", **agg}) + "\n")
                 n += 1
-            for node, t0, dt in self.events:
+            for node, t0, dt, trace in self.events:
+                rec = {
+                    "type": "event",
+                    "path": paths[id(node)],
+                    "t_start": t0,
+                    "duration": dt,
+                }
+                if trace is not None:
+                    rec["trace"] = trace
+                f.write(json.dumps(rec) + "\n")
+                n += 1
+            for child, parent in self.trace_links.items():
                 f.write(
                     json.dumps(
-                        {
-                            "type": "event",
-                            "path": paths[id(node)],
-                            "t_start": t0,
-                            "duration": dt,
-                        }
+                        {"type": "trace_link", "trace": child, "parent": parent}
                     )
                     + "\n"
                 )

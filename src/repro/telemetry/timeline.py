@@ -30,9 +30,14 @@ COMM_PHASES = (1, 3)
 class RankTimeline:
     """One rank's per-step phase durations (seconds)."""
 
-    def __init__(self, rank: int, nsteps: int, durations=None):
+    def __init__(self, rank: int, nsteps: int, durations=None,
+                 trace_id: str | None = None):
         self.rank = int(rank)
         self.nsteps = int(nsteps)
+        # the request trace this run served, if any — set from the
+        # trace context piggybacked on the transport's run message so
+        # per-rank phases stitch into the request's end-to-end trace
+        self.trace_id = trace_id
         if durations is None:
             self.durations = np.zeros((self.nsteps, len(PHASES)))
         else:
@@ -73,16 +78,22 @@ class RankTimeline:
         return iface / denom if denom > 0 else 0.0
 
     def to_payload(self) -> dict:
-        return {
+        payload = {
             "rank": self.rank,
             "nsteps": self.nsteps,
             "durations": self.durations,
         }
+        if self.trace_id is not None:
+            payload["trace"] = self.trace_id
+        return payload
 
     @classmethod
     def from_payload(cls, payload: dict) -> "RankTimeline":
         return cls(
-            payload["rank"], payload["nsteps"], payload["durations"]
+            payload["rank"],
+            payload["nsteps"],
+            payload["durations"],
+            trace_id=payload.get("trace"),
         )
 
     def span_records(self) -> list[dict]:
@@ -93,16 +104,17 @@ class RankTimeline:
         for k in range(self.nsteps):
             for i, name in enumerate(PHASES):
                 dt = float(self.durations[k, i])
-                out.append(
-                    {
-                        "type": "rank_span",
-                        "rank": self.rank,
-                        "step": k,
-                        "phase": name,
-                        "t_start": t,
-                        "duration": dt,
-                    }
-                )
+                rec = {
+                    "type": "rank_span",
+                    "rank": self.rank,
+                    "step": k,
+                    "phase": name,
+                    "t_start": t,
+                    "duration": dt,
+                }
+                if self.trace_id is not None:
+                    rec["trace"] = self.trace_id
+                out.append(rec)
                 t += dt
         return out
 
