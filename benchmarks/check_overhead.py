@@ -210,12 +210,19 @@ def floor_gate(
 
 def service_gate(args) -> int:
     """Idle-service overhead: Engine + zero-wait scheduler routed
-    requests vs direct ``ForwardSimulation.run`` calls."""
+    requests vs direct ``ForwardSimulation.run`` calls.
+
+    With ``--policy-armed`` the routed side also pays the full
+    resilience policy on every request — admission-control depth
+    check, deadline minting at submit plus the dispatch/demux expiry
+    checks, and the breaker consult — proving the armed-but-never-
+    triggered policy machinery fits the same ≤tol budget."""
     from repro.materials import HomogeneousMaterial
     from repro.service import (
         CoalescingScheduler,
         Engine,
         ForwardRequest,
+        ServicePolicy,
         SimulationSpec,
     )
 
@@ -234,9 +241,17 @@ def service_gate(args) -> int:
     sim = engine.simulation(spec)  # warm the cache: the gate times the
     t_end = (args.steps - 0.5) * sim.dt  # steady state, not the build
     request = ForwardRequest(spec, scenario, t_end, receivers=rec)
+    policy = None
+    if args.policy_armed:
+        # every knob on, none ever triggering: a deep queue bound, a
+        # generous deadline, bisection + retry + breaker armed
+        policy = ServicePolicy(max_queue_depth=1024, deadline=600.0)
     # max_wait=0: every request dispatches alone, immediately — the
     # idle configuration whose per-request cost this gate bounds
-    scheduler = CoalescingScheduler(engine, max_batch=1, max_wait=0.0)
+    scheduler = CoalescingScheduler(
+        engine, max_batch=1, max_wait=0.0, policy=policy
+    )
+    label = "service+policy" if args.policy_armed else "service"
     try:
         # correctness first: the routed path must be bitwise the
         # direct path, or the timing comparison is meaningless
@@ -251,8 +266,11 @@ def service_gate(args) -> int:
             return 1
 
         def time_routed() -> float:
+            # a fresh request per iteration so an armed policy mints
+            # a fresh deadline each time (the real per-request cost)
+            r = ForwardRequest(spec, scenario, t_end, receivers=rec)
             t0 = time.perf_counter()
-            scheduler.submit(request).result()
+            scheduler.submit(r).result()
             return time.perf_counter() - t0
 
         def time_direct() -> float:
@@ -261,14 +279,14 @@ def service_gate(args) -> int:
             return time.perf_counter() - t0
 
         overhead = floor_gate(
-            "service", time_routed, time_direct,
+            label, time_routed, time_direct,
             repeat=args.repeat, attempts=args.attempts, tol=args.tol,
         )
     finally:
         scheduler.close()
         engine.close()
     print(
-        f"idle-service overhead: {overhead * 100:+.2f}% "
+        f"idle-{label} overhead: {overhead * 100:+.2f}% "
         f"(tol {args.tol * 100:.1f}%)"
     )
     if overhead > args.tol:
@@ -298,6 +316,12 @@ def main(argv=None) -> int:
                     help="arm the flight recorder and construct both "
                          "exporters before timing — the armed-but-idle "
                          "observability stack must fit the same budget")
+    ap.add_argument("--policy-armed", action="store_true",
+                    help="arm the full service resilience policy "
+                         "(admission control, deadlines, breaker) on "
+                         "the routed side of the service gate — the "
+                         "never-triggered policy must fit the same "
+                         "budget")
     args = ap.parse_args(argv)
 
     if args.exporter_armed:

@@ -467,9 +467,13 @@ def cmd_submit(args) -> int:
     # ids stay unique across drain generations: count retired requests
     # in done/ too, so a later submit never reuses (and a later serve
     # never overwrites) an earlier request's output file
+    lifecycle_dirs = [args.spool] + [
+        os.path.join(args.spool, d)
+        for d in ("done", "inflight", "quarantine")
+    ]
     existing = [
         f
-        for d in (args.spool, os.path.join(args.spool, "done"))
+        for d in lifecycle_dirs
         if os.path.isdir(d)
         for f in os.listdir(d)
         if f.startswith("req-") and f.endswith(".json")
@@ -477,7 +481,7 @@ def cmd_submit(args) -> int:
     req_id = f"req-{len(existing):06d}"
     while any(
         os.path.exists(os.path.join(d, req_id + ".json"))
-        for d in (args.spool, os.path.join(args.spool, "done"))
+        for d in lifecycle_dirs
     ):
         req_id = f"req-{int(req_id[4:]) + 1:06d}"
     request = {
@@ -497,7 +501,9 @@ def cmd_submit(args) -> int:
     return 0
 
 
-def _serve_status_payload(engine, scheduler, served, failed, drain):
+def _serve_status_payload(
+    engine, scheduler, served, failed, drain, *, quarantined=0
+):
     """The live-state dict ``repro serve`` publishes for ``repro top``:
     counts, window occupancy, cache tiers, latency quantiles, and the
     per-rank phase split of the most recent distributed run."""
@@ -525,6 +531,7 @@ def _serve_status_payload(engine, scheduler, served, failed, drain):
     return {
         "served": served,
         "failed": failed,
+        "quarantined": quarantined,
         "queue": scheduler.queue_snapshot(),
         "scheduler": scheduler.stats(),
         "cache": engine.cache.stats(),
@@ -536,15 +543,29 @@ def _serve_status_payload(engine, scheduler, served, failed, drain):
 
 
 def cmd_serve(args) -> int:
-    """Drain the spool through a warm engine.
+    """Drain the spool through a warm engine, crash-safely.
 
-    Each pass collects every pending ``req-*.json``, submits all of
-    them to the coalescing scheduler (requests naming the same basin,
-    horizon, and record coalesce into one fused batch), writes one
-    ``.npz`` seismogram archive per request, and moves the spool file
-    to ``<spool>/done``.  With ``--watch`` the server polls for new
-    requests until interrupted; the default is one drain pass (empty
-    spool = no-op), which is what the CI smoke drives.
+    Each pass *claims* every pending ``req-*.json`` by atomic rename
+    into ``<spool>/inflight/`` (the at-least-once journal: a SIGKILL
+    at any instant leaves each request in exactly one directory),
+    submits all of them to the coalescing scheduler (requests naming
+    the same basin, horizon, and record coalesce into one fused
+    batch), writes one ``.npz`` seismogram archive per request, and
+    retires the spool file to ``<spool>/done``.  A restarted server
+    replays whatever a crashed predecessor left in ``inflight/`` —
+    idempotent, because results are rebuilt from the same
+    content-addressed artifacts.  Requests that fail
+    ``--max-attempts`` times (or whose spool file cannot be parsed)
+    move to ``<spool>/quarantine/`` with a failure-report JSON
+    instead of wedging the drain loop.  With ``--watch`` the server
+    polls for new requests until interrupted; the default is one
+    drain pass (empty spool = no-op), which is what the CI smoke
+    drives.
+
+    Resilience knobs: ``--max-queue-depth`` sheds excess submissions,
+    ``--deadline`` expires queued requests, ``--no-bisect`` disables
+    poisoned-batch isolation (see
+    :class:`~repro.service.policy.ServicePolicy`).
 
     Observability: ``--status-file`` publishes live state for ``repro
     top``; ``--prometheus``/``--metrics-jsonl`` export the metric
@@ -554,12 +575,21 @@ def cmd_serve(args) -> int:
     import time as _time
 
     from repro import telemetry
-    from repro.service import CoalescingScheduler, Engine, ForwardRequest
+    from repro.resilience.faults import FaultPlan
+    from repro.service import (
+        CoalescingScheduler,
+        Engine,
+        ForwardRequest,
+        ServicePolicy,
+    )
 
     os.makedirs(args.spool, exist_ok=True)
     os.makedirs(args.out_dir, exist_ok=True)
     done_dir = os.path.join(args.spool, "done")
-    os.makedirs(done_dir, exist_ok=True)
+    inflight_dir = os.path.join(args.spool, "inflight")
+    quarantine_dir = os.path.join(args.spool, "quarantine")
+    for d in (done_dir, inflight_dir, quarantine_dir):
+        os.makedirs(d, exist_ok=True)
 
     exporting = bool(
         args.status_file or args.prometheus
@@ -576,11 +606,22 @@ def cmd_serve(args) -> int:
         if args.metrics_jsonl else None
     )
 
-    engine = Engine(capacity=args.capacity, disk_dir=args.cache_dir)
-    scheduler = CoalescingScheduler(
-        engine, max_batch=args.max_batch, max_wait=args.max_wait
+    policy = ServicePolicy(
+        max_queue_depth=args.max_queue_depth,
+        deadline=args.deadline if args.deadline > 0 else None,
+        bisect=not args.no_bisect,
+        max_attempts=args.max_attempts,
     )
-    served = failed = 0
+    fault_plan = FaultPlan.from_env()
+    engine = Engine(
+        capacity=args.capacity, disk_dir=args.cache_dir,
+        faults=fault_plan,
+    )
+    scheduler = CoalescingScheduler(
+        engine, max_batch=args.max_batch, max_wait=args.max_wait,
+        policy=policy,
+    )
+    served = failed = quarantined = 0
     drain = None
     traces = []
 
@@ -588,7 +629,8 @@ def cmd_serve(args) -> int:
         if status is not None:
             status.write(
                 _serve_status_payload(
-                    engine, scheduler, served, failed, drain
+                    engine, scheduler, served, failed, drain,
+                    quarantined=quarantined,
                 )
             )
         if jsonl is not None:
@@ -596,64 +638,180 @@ def cmd_serve(args) -> int:
         if args.prometheus:
             telemetry.write_prometheus(args.prometheus)
 
+    def _attempts_path(fname):
+        return os.path.join(inflight_dir, fname + ".attempts")
+
+    def _read_attempts(fname):
+        try:
+            with open(_attempts_path(fname)) as f:
+                return int(f.read().strip() or 0)
+        except (OSError, ValueError):
+            return 0
+
+    def _bump_attempts(fname):
+        n = _read_attempts(fname) + 1
+        path = _attempts_path(fname)
+        tmp = path + ".tmp"
+        with open(tmp, "w") as f:
+            f.write(str(n))
+        os.replace(tmp, path)
+        return n
+
+    def _quarantine(fname, report):
+        """Move an inflight request to quarantine/ with a failure
+        report; removes its attempts sidecar.  The request leaves the
+        drain loop permanently — exactly-once disposition."""
+        nonlocal quarantined
+        src = os.path.join(inflight_dir, fname)
+        if os.path.exists(src):
+            os.replace(src, os.path.join(quarantine_dir, fname))
+        try:
+            os.remove(_attempts_path(fname))
+        except OSError:
+            pass
+        report = {"file": fname, "ts": _time.time(), **report}
+        rpath = os.path.join(
+            quarantine_dir, fname[:-len(".json")] + ".report.json"
+        )
+        tmp = rpath + ".tmp"
+        with open(tmp, "w") as f:
+            json.dump(report, f, indent=2)
+        os.replace(tmp, rpath)
+        quarantined += 1
+        telemetry.count("service.quarantined")
+        print(
+            f"  {fname[:-len('.json')]}: QUARANTINED "
+            f"({report.get('stage')}: {report.get('error')})"
+        )
+
     try:
         while True:
-            pending = sorted(
-                f for f in os.listdir(args.spool)
-                if f.startswith("req-") and f.endswith(".json")
-            )
-            inflight = []
-            drain_base = engine.cache.counters()
-            for fname in pending:
-                fpath = os.path.join(args.spool, fname)
-                with open(fpath) as f:
-                    req = json.load(f)
-                spec = _spec_from_dict(req["spec"])
-                request = ForwardRequest(
-                    spec,
-                    _scenario_from_name(
-                        req.get("scenario", "strike-slip"), spec.L
-                    ),
-                    float(req["t_end"]),
-                    receivers=(
-                        np.asarray(req["receivers"], dtype=float)
-                        if req.get("receivers")
-                        else None
-                    ),
-                    record=req.get("record", "velocity"),
-                )
-                inflight.append((fpath, req, request, scheduler.submit(request)))
-            for fpath, req, request, future in inflight:
-                out = os.path.join(args.out_dir, req["id"] + ".npz")
-                try:
-                    seis = future.result()
-                except Exception as e:  # keep serving the rest
-                    failed += 1
-                    print(f"  {req['id']}: FAILED ({e})")
-                    continue
-                if seis is not None:
-                    np.savez_compressed(
-                        out,
-                        data=seis.data,
-                        dt=seis.dt,
-                        kind=seis.kind,
-                        positions=seis.positions,
+            # claim: atomic rename out of the spool root — after this
+            # instant the request is journalled in inflight/ and will
+            # be replayed by any restart
+            for fname in sorted(os.listdir(args.spool)):
+                if fname.startswith("req-") and fname.endswith(".json"):
+                    os.replace(
+                        os.path.join(args.spool, fname),
+                        os.path.join(inflight_dir, fname),
                     )
-                    print(f"  {req['id']}: {out}")
-                if request.trace_id is not None:
-                    traces.append((req["id"], request.trace_id))
-                served += 1
-                os.replace(
-                    fpath, os.path.join(done_dir, os.path.basename(fpath))
+            progressed = False
+            while True:  # attempt loop: converges in <= max_attempts
+                claimed = sorted(
+                    f for f in os.listdir(inflight_dir)
+                    if f.startswith("req-") and f.endswith(".json")
                 )
-            if inflight:
-                # per-drain cache scope: hit ratios of THIS drain, not
-                # the engine's lifetime totals
+                if not claimed:
+                    break
+                progressed = True
+                batch = []
+                drain_base = engine.cache.counters()
+                for fname in claimed:
+                    fpath = os.path.join(inflight_dir, fname)
+                    attempts = _bump_attempts(fname)
+                    if attempts > 1:
+                        telemetry.count("service.replayed")
+                    try:
+                        with open(fpath) as f:
+                            req = json.load(f)
+                        spec = _spec_from_dict(req["spec"])
+                        request = ForwardRequest(
+                            spec,
+                            _scenario_from_name(
+                                req.get("scenario", "strike-slip"),
+                                spec.L,
+                            ),
+                            float(req["t_end"]),
+                            receivers=(
+                                np.asarray(req["receivers"], dtype=float)
+                                if req.get("receivers")
+                                else None
+                            ),
+                            record=req.get("record", "velocity"),
+                            request_id=req["id"],
+                        )
+                    except Exception as e:
+                        # torn/corrupt spool JSON (or a bad spec):
+                        # unservable no matter how often we retry
+                        _quarantine(fname, {
+                            "id": fname[:-len(".json")],
+                            "stage": "parse",
+                            "error": str(e),
+                            "error_type": type(e).__name__,
+                            "attempts": attempts,
+                        })
+                        failed += 1
+                        continue
+                    try:
+                        future = scheduler.submit(request)
+                    except Exception as e:  # shed / breaker open
+                        from concurrent.futures import Future as _F
+                        future = _F()
+                        future.set_exception(e)
+                    batch.append((fname, req, request, future))
+                still_failing = False
+                for fname, req, request, future in batch:
+                    out = os.path.join(
+                        args.out_dir, req["id"] + ".npz"
+                    )
+                    try:
+                        seis = future.result()
+                    except Exception as e:  # keep serving the rest
+                        attempts = _read_attempts(fname)
+                        if attempts >= policy.max_attempts:
+                            _quarantine(fname, {
+                                "id": req["id"],
+                                "stage": "solve",
+                                "error": str(e),
+                                "error_type": type(e).__name__,
+                                "attempts": attempts,
+                                "trace_id": request.trace_id,
+                            })
+                            failed += 1
+                        else:
+                            still_failing = True
+                            print(
+                                f"  {req['id']}: attempt {attempts} "
+                                f"failed ({e}); will retry"
+                            )
+                        continue
+                    if seis is not None:
+                        # ends in .npz so savez does not append one
+                        tmp = out + ".tmp.npz"
+                        np.savez_compressed(
+                            tmp,
+                            data=seis.data,
+                            dt=seis.dt,
+                            kind=seis.kind,
+                            positions=seis.positions,
+                        )
+                        os.replace(tmp, out)
+                        print(f"  {req['id']}: {out}")
+                    if request.trace_id is not None:
+                        traces.append((req["id"], request.trace_id))
+                    served += 1
+                    os.replace(
+                        os.path.join(inflight_dir, fname),
+                        os.path.join(done_dir, fname),
+                    )
+                    try:
+                        os.remove(_attempts_path(fname))
+                    except OSError:
+                        pass
+                # per-drain cache scope: hit ratios of THIS drain,
+                # not the engine's lifetime totals
                 drain = engine.cache.stats_since(drain_base)
+                if fault_plan is not None:
+                    # advance one-shot faults so a retry pass runs
+                    # clean — mirrors the solver's own recovery loop
+                    fault_plan = fault_plan.retried()
+                    engine.faults = fault_plan
+                if not still_failing:
+                    break
             publish()
             if not args.watch:
                 break
-            if not inflight:
+            if not progressed:
                 _time.sleep(args.poll)
     except KeyboardInterrupt:
         pass
@@ -669,6 +827,10 @@ def cmd_serve(args) -> int:
         f"{sched['batches']} batch(es), mean width "
         f"{sched['mean_batch']:.2f}, max {sched['max_batch_observed']}"
     )
+    if quarantined:
+        print(
+            f"quarantine: {quarantined} request(s) -> {quarantine_dir}"
+        )
     print(
         f"artifact cache: {stats['hits']} hits / {stats['misses']} misses "
         f"({stats['entries']} live, {stats['disk_hits']} from disk)"
@@ -687,7 +849,7 @@ def cmd_serve(args) -> int:
         n = telemetry.dump_jsonl(args.trace_out, extra_records=extra)
         print(f"trace: {n} records -> {args.trace_out}")
     if args.report:
-        service = {**stats, **sched}
+        service = {**stats, **sched, "quarantined": quarantined}
         if drain is not None:
             service["drain"] = drain
         report = telemetry.PerfReport.collect(
@@ -723,6 +885,20 @@ def cmd_top(args) -> int:
             f"  served {snap.get('served', 0)} "
             f"({snap.get('failed', 0)} failed)",
         ]
+        sched = snap.get("scheduler") or {}
+        rb = {
+            k: sched.get(k, 0)
+            for k in ("shed", "deadline_expired", "poisoned", "retries")
+        }
+        rb["quarantined"] = snap.get("quarantined", 0)
+        breaker = sched.get("breaker", "disabled")
+        if any(rb.values()) or breaker not in ("disabled", "closed"):
+            lines.append(
+                f"  robustness: shed {rb['shed']}, expired "
+                f"{rb['deadline_expired']}, poisoned {rb['poisoned']}, "
+                f"retries {rb['retries']}, quarantined "
+                f"{rb['quarantined']}, breaker {breaker}"
+            )
         q = snap.get("queue") or {}
         windows = q.get("open_windows") or []
         busy = "dispatching" if q.get("dispatching") else "idle"
@@ -933,6 +1109,18 @@ def build_parser() -> argparse.ArgumentParser:
                     help="idle poll interval with --watch (s)")
     pv.add_argument("--report", action="store_true",
                     help="print the PerfReport service section after draining")
+    pv.add_argument("--max-queue-depth", type=int, default=0,
+                    help="shed submissions past this queue depth "
+                         "(0 = unbounded)")
+    pv.add_argument("--deadline", type=float, default=0.0,
+                    help="per-request deadline in seconds from submit "
+                         "(0 = none)")
+    pv.add_argument("--max-attempts", type=int, default=3,
+                    help="drain attempts before a failing request is "
+                         "quarantined")
+    pv.add_argument("--no-bisect", action="store_true",
+                    help="fail whole batches instead of bisecting out "
+                         "poisoned requests")
     pv.add_argument("--status-file",
                     help="publish live status JSON here (read by "
                          "`repro top`); enables telemetry")

@@ -166,6 +166,7 @@ class ForwardSimulation:
         resume: bool = False,
         health_interval: int | None = None,
         lts: int | bool | None = None,
+        faults=None,
     ) -> ForwardResult:
         """Simulate a rupture scenario.
 
@@ -191,6 +192,8 @@ class ForwardSimulation:
             extra["health_interval"] = health_interval
         if lts is not None:
             extra["lts"] = lts
+        if faults is not None:
+            extra["faults"] = faults
         seis = self.solver.run(
             forces,
             t_end,

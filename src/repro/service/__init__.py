@@ -10,7 +10,13 @@ scenario run is a cache hit plus one batched column:
 * :mod:`~repro.service.scheduler` — :class:`CoalescingScheduler`, an
   async job queue that packs co-batchable requests into one fused
   ``run_batch`` time loop (each column bitwise-identical to a solo
-  run).
+  run);
+* :mod:`~repro.service.policy` — :class:`ServicePolicy` resilience
+  knobs (admission control, deadlines, poisoned-batch bisection,
+  retry + circuit breaker) and the structured errors
+  (:class:`ShedError`, :class:`DeadlineExceeded`,
+  :class:`PoisonedRequestError`, :class:`CircuitOpenError`) callers
+  program against.
 """
 
 from repro.service.cache import (
@@ -22,14 +28,28 @@ from repro.service.cache import (
     save_artifact,
 )
 from repro.service.engine import Engine, SimulationSpec
+from repro.service.policy import (
+    CircuitBreaker,
+    CircuitOpenError,
+    DeadlineExceeded,
+    PoisonedRequestError,
+    ServicePolicy,
+    ShedError,
+)
 from repro.service.scheduler import CoalescingScheduler, ForwardRequest
 
 __all__ = [
     "ArtifactCache",
     "CacheCorruptError",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "CoalescingScheduler",
+    "DeadlineExceeded",
     "Engine",
     "ForwardRequest",
+    "PoisonedRequestError",
+    "ServicePolicy",
+    "ShedError",
     "SimulationSpec",
     "artifact_key",
     "fingerprint",

@@ -119,6 +119,12 @@ class Engine:
     cache:
         Pass a prebuilt :class:`ArtifactCache` to share one across
         engines (overrides ``capacity``/``disk_dir``).
+    faults:
+        Optional :class:`~repro.resilience.faults.FaultPlan` injected
+        into every solver loop this engine runs — the chaos-testing
+        hook ``repro serve`` arms from ``REPRO_FAULTS``.  Mutable:
+        the serve loop swaps in ``plan.retried()`` between drain
+        passes so one-shot faults fire exactly once.
     """
 
     def __init__(
@@ -127,10 +133,12 @@ class Engine:
         capacity: int = 4,
         disk_dir: str | None = None,
         cache: ArtifactCache | None = None,
+        faults=None,
     ):
         self.cache = cache or ArtifactCache(capacity, disk_dir=disk_dir)
         self._pools: dict[tuple, object] = {}
         self.submitted = 0
+        self.faults = faults
 
     # ------------------------------------------------------ warm state
 
@@ -179,6 +187,8 @@ class Engine:
         sim = self.simulation(spec)
         self.submitted += 1
         telemetry.count("service.submits")
+        if self.faults is not None:
+            run_kwargs.setdefault("faults", self.faults)
         with telemetry.trace_context(
             trace_id if trace_id is not None
             else telemetry.get_trace_context()
@@ -200,6 +210,7 @@ class Engine:
         *,
         receivers=None,
         record: str = "velocity",
+        health_interval: int | None = None,
     ) -> list:
         """March ``B = len(scenarios)`` rupture scenarios of one basin
         in a single fused :meth:`~repro.solver.wave_solver
@@ -228,10 +239,15 @@ class Engine:
             if len(receivers) != len(scenarios):
                 raise ValueError("need one receiver set per scenario")
             recs = [ReceiverArray(sim.mesh, r) for r in receivers]
+        extra = {}
+        if self.faults is not None:
+            extra["faults"] = self.faults
+        if health_interval is not None:
+            extra["health_interval"] = health_interval
         with telemetry.span("service.run_batch") as _s:
             _s.add("batch", len(scenarios))
             return sim.solver.run_batch(
-                forces, t_end, receivers=recs, record=record
+                forces, t_end, receivers=recs, record=record, **extra
             )
 
     # -------------------------------------------------------- lifetime

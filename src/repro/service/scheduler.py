@@ -23,21 +23,60 @@ Coalescing is free of numerical consequence: ``run_batch`` column
 row-stacked GEMM and block-diagonal scatter keep the serial summation
 orders — see ``tests/test_batch.py``), so a request cannot observe
 whether it shared its time loop.
+
+Failure is where coalescing could *amplify*: one NaN-poisoned request
+would fail every batchmate's future.  With a
+:class:`~repro.service.policy.ServicePolicy` armed, the scheduler
+instead bisects a failing batch (log₂ re-runs against the warm
+engine), fails only the culprit(s) with
+:class:`~repro.service.policy.PoisonedRequestError`, and resolves the
+innocents from the successful halves — still bitwise-identical to
+solo runs, because column independence holds for any batch width.
+The policy also bounds the queue (:class:`ShedError` fast-fail),
+mints per-request deadlines, retries transient
+:class:`~repro.parallel.transport.WorkerFailure`, and trips a circuit
+breaker on repeated pool failures.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import Future
+from concurrent.futures import Future, InvalidStateError
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro import telemetry
+from repro.parallel.transport import WorkerFailure
 from repro.service.engine import Engine, SimulationSpec
+from repro.service.policy import (
+    CircuitOpenError,
+    DeadlineExceeded,
+    PoisonedRequestError,
+    ServicePolicy,
+    ShedError,
+)
 
 __all__ = ["ForwardRequest", "CoalescingScheduler"]
+
+
+def _resolve(future: Future, result) -> None:
+    """Set a result, tolerating futures the owner already cancelled
+    (e.g. by a timed-out :meth:`CoalescingScheduler.close`)."""
+    try:
+        if not future.cancelled():
+            future.set_result(result)
+    except InvalidStateError:
+        pass
+
+
+def _fail(future: Future, exc: BaseException) -> None:
+    try:
+        if not future.cancelled():
+            future.set_exception(exc)
+    except InvalidStateError:
+        pass
 
 
 @dataclass
@@ -46,7 +85,12 @@ class ForwardRequest:
 
     ``trace_id`` names this request's end-to-end trace; the scheduler
     mints one on submit while telemetry is enabled (callers may set
-    their own to join a larger trace)."""
+    their own to join a larger trace).  ``request_id`` is an opaque
+    caller handle echoed in structured errors (the serve loop uses
+    the spool file id).  ``deadline`` is an absolute
+    ``time.monotonic()`` reading after which the request is rejected
+    instead of solved; the scheduler mints one from the policy's
+    relative deadline at submit when the caller left it None."""
 
     spec: SimulationSpec
     scenario: object
@@ -54,6 +98,8 @@ class ForwardRequest:
     receivers: np.ndarray | None = None
     record: str = "velocity"
     trace_id: str | None = None
+    request_id: str | None = None
+    deadline: float | None = None
 
     def group_key(self) -> tuple:
         """What a fused time loop must agree on: the artifact key (one
@@ -97,6 +143,11 @@ class CoalescingScheduler:
         first request arrives.  ``0`` disables coalescing latency
         entirely — every request dispatches immediately (B=1) —
         which is the idle-overhead configuration the CI gate checks.
+    policy:
+        A :class:`~repro.service.policy.ServicePolicy` arming
+        admission control, deadlines, bisection, retry, and the
+        breaker.  Defaults to ``ServicePolicy()`` (no shedding, no
+        deadlines, bisection + retry + breaker on).
     """
 
     def __init__(
@@ -105,12 +156,15 @@ class CoalescingScheduler:
         *,
         max_batch: int = 16,
         max_wait: float = 0.05,
+        policy: ServicePolicy | None = None,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         self.engine = engine
         self.max_batch = int(max_batch)
         self.max_wait = float(max_wait)
+        self.policy = policy if policy is not None else ServicePolicy()
+        self._breaker = self.policy.make_breaker()
         self._groups: dict[tuple, _Group] = {}
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
@@ -119,6 +173,15 @@ class CoalescingScheduler:
         self.batches = 0
         self.coalesced = 0
         self.max_observed_batch = 0
+        self.solves = 0
+        self.shed = 0
+        self.deadline_expired = 0
+        self.poisoned = 0
+        self.retries = 0
+        self.bisections = 0
+        # futures of the group currently running, so close() can
+        # cancel in-flight work the thread never resolved
+        self._inflight: list[Future] | None = None
         self._thread = threading.Thread(
             target=self._loop, name="repro-scheduler", daemon=True
         )
@@ -129,12 +192,40 @@ class CoalescingScheduler:
     def submit(self, request: ForwardRequest) -> Future:
         """Enqueue a request; the Future resolves to its
         :class:`~repro.io.seismogram.Seismograms` (or None without
-        receivers) once its batch has run."""
+        receivers) once its batch has run.
+
+        Fast-fail admission gates run *before* anything is enqueued:
+        an open circuit breaker raises
+        :class:`~repro.service.policy.CircuitOpenError` and a full
+        queue raises :class:`~repro.service.policy.ShedError` — both
+        in microseconds, with no solver time or queue slot spent."""
         future: Future = Future()
         instrumented = telemetry.enabled()
+        policy = self.policy
         with self._wake:
             if self._closed:
                 raise RuntimeError("scheduler is closed")
+            if self._breaker is not None and not self._breaker.allow():
+                telemetry.count("service.breaker.rejected")
+                raise CircuitOpenError(
+                    "circuit breaker open after repeated pool failures",
+                    retry_after=self._breaker.retry_after(),
+                )
+            if policy.max_queue_depth > 0:
+                depth = sum(
+                    len(g.requests) for g in self._groups.values()
+                )
+                if depth >= policy.max_queue_depth:
+                    self.shed += 1
+                    telemetry.count("service.shed")
+                    raise ShedError(
+                        f"queue at capacity ({depth}/"
+                        f"{policy.max_queue_depth}); shedding",
+                        depth=depth,
+                        limit=policy.max_queue_depth,
+                    )
+            if request.deadline is None and policy.deadline is not None:
+                request.deadline = time.monotonic() + policy.deadline
             key = request.group_key()
             group = self._groups.get(key)
             if group is None:
@@ -154,10 +245,21 @@ class CoalescingScheduler:
             self._wake.notify()
         return future
 
-    def map_wait(self, requests) -> list:
-        """Submit many requests and block for all results (in order)."""
+    def map_wait(self, requests, *, timeout: float | None = None) -> list:
+        """Submit many requests and block for all results (in order).
+
+        ``timeout`` bounds the *total* wait across all futures;
+        exceeding it raises :class:`concurrent.futures.TimeoutError`
+        (the remaining futures stay pending — close the scheduler to
+        cancel them)."""
         futures = [self.submit(r) for r in requests]
-        return [f.result() for f in futures]
+        if timeout is None:
+            return [f.result() for f in futures]
+        deadline = time.monotonic() + timeout
+        return [
+            f.result(timeout=max(deadline - time.monotonic(), 0.0))
+            for f in futures
+        ]
 
     def flush(self) -> None:
         """Dispatch every open window now, ignoring remaining wait
@@ -210,12 +312,14 @@ class CoalescingScheduler:
                     self._wake.wait(timeout=timeout)
                     continue
                 self._dispatching = True
+                self._inflight = ready[1].futures
             key, group, reason = ready
             try:
                 self._run_group(group, reason)
             finally:
                 with self._wake:
                     self._dispatching = False
+                    self._inflight = None
                     self._wake.notify()
 
     def _run_group(self, group: _Group, reason: str) -> None:
@@ -226,12 +330,48 @@ class CoalescingScheduler:
         self.max_observed_batch = max(self.max_observed_batch, B)
         telemetry.count("service.batches")
         telemetry.count("service.coalesced", B - 1)
-        first = requests[0]
+        # deadline gate: a request that aged out in the queue is
+        # rejected here, before any solver time is spent on it
+        now = time.monotonic()
+        live: list[int] = []
+        for i, r in enumerate(requests):
+            if r.deadline is not None and now >= r.deadline:
+                self.deadline_expired += 1
+                telemetry.count("service.deadline.expired")
+                _fail(
+                    futures[i],
+                    DeadlineExceeded(
+                        f"request expired {now - r.deadline:.3f}s "
+                        "before dispatch",
+                        request_id=r.request_id,
+                        stage="dispatch",
+                        overdue=now - r.deadline,
+                    ),
+                )
+            else:
+                live.append(i)
+        if not live:
+            return
+        requests = [requests[i] for i in live]
+        futures = [futures[i] for i in live]
+        enq = [
+            group.t_enq[i] for i in live if i < len(group.t_enq)
+        ]
+        if self._breaker is not None and not self._breaker.allow():
+            err = CircuitOpenError(
+                "circuit breaker open; batch fast-failed",
+                retry_after=self._breaker.retry_after(),
+            )
+            telemetry.count("service.breaker.fastfail", len(futures))
+            for f in futures:
+                _fail(f, err)
+            return
         # one trace for the shared solve; each member request's trace
         # links to it so stitching a request pulls in the batch's
         # solver spans and per-rank phase split
         tr = telemetry.current_tracer()
         batch_trace = None
+        t_dispatch = 0.0
         if tr is not None:
             batch_trace = telemetry.new_trace_id()
             for r in requests:
@@ -241,28 +381,17 @@ class CoalescingScheduler:
         try:
             with telemetry.trace_context(batch_trace):
                 with telemetry.span("service.dispatch") as _s:
-                    _s.add("batch", B)
-                    results = self.engine.submit_batch(
-                        first.spec,
-                        [r.scenario for r in requests],
-                        first.t_end,
-                        receivers=(
-                            [r.receivers for r in requests]
-                            if first.receivers is not None
-                            else None
-                        ),
-                        record=first.record,
-                    )
+                    _s.add("batch", len(requests))
+                    self._dispatch(requests, futures)
         except BaseException as e:
+            # belt and braces: _dispatch handles Exceptions itself, so
+            # only interpreter-level BaseExceptions land here — never
+            # leave a caller hung on an unresolved future
             for f in futures:
-                f.set_exception(e)
+                _fail(f, e)
             return
-        if results is None:
-            results = [None] * B
-        t_solved = time.perf_counter() if tr is not None else 0.0
-        for f, seis in zip(futures, results):
-            f.set_result(seis)
         if tr is not None:
+            t_solved = time.perf_counter()
             t_done = time.perf_counter()
             solve = t_solved - t_dispatch
             demux = t_done - t_solved
@@ -280,9 +409,7 @@ class CoalescingScheduler:
                 trace_id=batch_trace,
             )
             for i, r in enumerate(requests):
-                t_enq = (
-                    group.t_enq[i] if i < len(group.t_enq) else t_dispatch
-                )
+                t_enq = enq[i] if i < len(enq) else t_dispatch
                 queue = t_dispatch - t_enq
                 total = t_done - t_enq
                 telemetry.observe("service.latency.queue", queue)
@@ -301,6 +428,131 @@ class CoalescingScheduler:
                     counters={"batch": B},
                 )
 
+    # ---------------------------------------------- failure isolation
+
+    def _solve(self, requests: list[ForwardRequest]) -> list:
+        """One engine call for ``requests``, retried through the
+        policy's backoff on transient :class:`WorkerFailure`."""
+        first = requests[0]
+
+        def call():
+            self.solves += 1
+            return self.engine.submit_batch(
+                first.spec,
+                [r.scenario for r in requests],
+                first.t_end,
+                receivers=(
+                    [r.receivers for r in requests]
+                    if first.receivers is not None
+                    else None
+                ),
+                record=first.record,
+            )
+
+        retry = self.policy.retry
+        if retry is None:
+            return call()
+        return retry.call(
+            call, retry_on=(WorkerFailure,), on_retry=self._note_retry
+        )
+
+    def _note_retry(self, attempt: int, exc: BaseException) -> None:
+        self.retries += 1
+        telemetry.count("service.retries")
+
+    def _dispatch(
+        self, requests: list[ForwardRequest], futures: list[Future]
+    ) -> None:
+        """Solve ``requests`` as one batch, bisecting on failure.
+
+        A clean solve resolves every future.  A ``WorkerFailure``
+        surviving the retry policy is *infrastructure*, not request
+        content — the whole sub-batch fails with it (no bisection;
+        re-running a poisoned pool would just fail again) and the
+        breaker counts it.  Any other exception is *content*: split
+        the batch in half and recurse, so log₂(B) extra warm solves
+        isolate the culprit(s), which alone get
+        :class:`PoisonedRequestError`; innocents resolve from the
+        successful halves, each column still bitwise-identical to a
+        solo run."""
+        try:
+            results = self._solve(requests)
+        except WorkerFailure as e:
+            tripped = (
+                self._breaker is not None
+                and self._breaker.record_failure()
+            )
+            for f in futures:
+                _fail(f, e)
+            if tripped:
+                self._drain_queue(
+                    CircuitOpenError(
+                        "circuit breaker opened by repeated pool "
+                        "failures; queued batch fast-failed",
+                        retry_after=(
+                            self._breaker.retry_after()
+                            if self._breaker is not None
+                            else 0.0
+                        ),
+                    )
+                )
+            return
+        except Exception as e:
+            if len(requests) == 1 or not self.policy.bisect:
+                for r, f in zip(requests, futures):
+                    self.poisoned += 1
+                    telemetry.count("service.poisoned")
+                    err = PoisonedRequestError(
+                        f"request {r.request_id or '<anonymous>'} "
+                        f"poisoned its batch: {e}",
+                        request_id=r.request_id,
+                        trace_id=r.trace_id,
+                    )
+                    err.__cause__ = e
+                    _fail(f, err)
+                return
+            self.bisections += 1
+            telemetry.count("service.bisect.rounds")
+            mid = len(requests) // 2
+            self._dispatch(requests[:mid], futures[:mid])
+            self._dispatch(requests[mid:], futures[mid:])
+            return
+        if self._breaker is not None:
+            self._breaker.record_success()
+        if results is None:
+            results = [None] * len(requests)
+        now = time.monotonic()
+        for r, f, seis in zip(requests, futures, results):
+            if r.deadline is not None and now >= r.deadline:
+                # the solve outlived the caller's patience: a result
+                # nobody waits for is reported as the expiry it is
+                self.deadline_expired += 1
+                telemetry.count("service.deadline.expired")
+                _fail(
+                    f,
+                    DeadlineExceeded(
+                        f"request expired {now - r.deadline:.3f}s "
+                        "before demux",
+                        request_id=r.request_id,
+                        stage="demux",
+                        overdue=now - r.deadline,
+                    ),
+                )
+            else:
+                _resolve(f, seis)
+
+    def _drain_queue(self, exc: Exception) -> None:
+        """Fail every queued (not yet dispatched) request with
+        ``exc`` — the breaker just opened, so letting them wait for
+        the solver would only convert fast failures into slow ones."""
+        with self._wake:
+            drained = list(self._groups.values())
+            self._groups.clear()
+            self._wake.notify()
+        for group in drained:
+            for f in group.futures:
+                _fail(f, exc)
+
     # -------------------------------------------------------- lifetime
 
     def stats(self) -> dict:
@@ -311,6 +563,17 @@ class CoalescingScheduler:
             "max_batch_observed": self.max_observed_batch,
             "mean_batch": (
                 self.requests / self.batches if self.batches else 0.0
+            ),
+            "solves": self.solves,
+            "shed": self.shed,
+            "deadline_expired": self.deadline_expired,
+            "poisoned": self.poisoned,
+            "retries": self.retries,
+            "bisections": self.bisections,
+            "breaker": (
+                self._breaker.state
+                if self._breaker is not None
+                else "disabled"
             ),
         }
 
@@ -331,11 +594,25 @@ class CoalescingScheduler:
             return {
                 "open_windows": windows,
                 "dispatching": bool(self._dispatching),
+                "depth": sum(
+                    len(g.requests) for g in self._groups.values()
+                ),
+                "breaker": (
+                    self._breaker.state
+                    if self._breaker is not None
+                    else "disabled"
+                ),
             }
 
-    def close(self, *, wait: bool = True) -> None:
+    def close(self, *, wait: bool = True, timeout: float = 60.0) -> None:
         """Stop accepting requests; drain open windows, then stop the
-        scheduler thread."""
+        scheduler thread.
+
+        If the thread does not finish within ``timeout`` (a wedged
+        engine, a hung pool), every still-pending future — queued or
+        in flight — is cancelled so ``map_wait`` callers observe a
+        :class:`concurrent.futures.CancelledError` instead of
+        blocking forever."""
         with self._wake:
             if self._closed:
                 return
@@ -343,8 +620,20 @@ class CoalescingScheduler:
             for group in self._groups.values():
                 group.deadline = 0.0
             self._wake.notify()
-        if wait:
-            self._thread.join(timeout=60.0)
+        if not wait:
+            return
+        self._thread.join(timeout=timeout)
+        leftovers: list[Future] = []
+        with self._wake:
+            for group in self._groups.values():
+                leftovers.extend(group.futures)
+            self._groups.clear()
+            if self._inflight is not None:
+                leftovers.extend(self._inflight)
+        for f in leftovers:
+            if not f.done():
+                f.cancel()
+                telemetry.count("service.cancelled_on_close")
 
     def __enter__(self) -> "CoalescingScheduler":
         return self

@@ -956,6 +956,8 @@ class ElasticWaveSolver:
         record: str = "velocity",
         callback: Callable[[int, float, np.ndarray], None] | None = None,
         lts: int | bool | LTSPlan | None = None,
+        faults=None,
+        health_interval: int = DEFAULT_HEALTH_INTERVAL,
     ) -> list[Seismograms] | None:
         """March ``B = len(forces)`` scenarios at once from rest.
 
@@ -975,6 +977,15 @@ class ElasticWaveSolver:
         per scenario; ``callback(k, t, u)`` sees the full
         ``(nnode, 3, B)`` block.  Returns one :class:`Seismograms` per
         scenario (None without receivers).
+
+        ``faults``/``health_interval`` mirror :meth:`run`: the fused
+        state block is checked for non-finite values every
+        ``health_interval`` steps (and at the final step), raising
+        :class:`~repro.resilience.health.NumericalHealthError` — one
+        poisoned column fails the whole fused loop, which is exactly
+        the signal the service scheduler's bisection isolates.  The
+        LTS path keeps its own sync-boundary checks and ignores
+        ``faults``.
         """
         plan, nsteps = self._lts_dispatch(lts, t_end)
         if plan is not None:
@@ -991,6 +1002,8 @@ class ElasticWaveSolver:
         dt2 = dt * dt
         hd = 0.5 * dt
         nnode = self.nnode
+        if health_interval:
+            validate_cfl(dt, self.mesh.elem_h, self.vp)
         # broadcast the per-node/per-dof diagonals over the batch axis
         m = self.m[:, None, None]
         m_alpha = self.m_alpha[:, None, None]
@@ -1114,6 +1127,12 @@ class ElasticWaveSolver:
                 if callback is not None:
                     callback(k, t, u)
                 u_prev, u, u_next = u, u_next, u_prev
+                if faults is not None:
+                    faults.poison_state(0, k, u)
+                if health_interval and should_check(
+                    k, nsteps, health_interval
+                ):
+                    check_finite(u, step=k, field="u")
 
         if recs is None:
             return None

@@ -355,6 +355,30 @@ class PerfReport:
                     f"(mean width {_fmt(sv.get('mean_batch'), 5, 2)}, "
                     f"max {sv.get('max_batch_observed', 1)})"
                 )
+            # robustness: only rendered when the policy machinery
+            # actually intervened, so clean drains read as before
+            rb = {
+                k: sv.get(k, 0)
+                for k in (
+                    "shed",
+                    "deadline_expired",
+                    "poisoned",
+                    "retries",
+                    "bisections",
+                    "quarantined",
+                )
+            }
+            breaker = sv.get("breaker", "disabled")
+            if any(rb.values()) or breaker not in ("disabled", "closed"):
+                lines.append(
+                    f"  robustness: shed {rb['shed']}, "
+                    f"expired {rb['deadline_expired']}, "
+                    f"poisoned {rb['poisoned']} "
+                    f"({rb['bisections']} bisect rounds), "
+                    f"retries {rb['retries']}, "
+                    f"quarantined {rb['quarantined']}, "
+                    f"breaker {breaker}"
+                )
         lat = {
             name: m
             for name, m in self.metrics.items()

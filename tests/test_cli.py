@@ -96,3 +96,101 @@ def test_submit_serve_roundtrip(tmp_path, capsys):
     )
     # an empty spool drains as a no-op
     assert main(["serve", "--spool", spool, "--out-dir", out_dir]) == 0
+
+
+SPEC_ARGS = [
+    "--L", "8000", "--fmax", "0.15", "--vs-min", "400",
+    "--max-level", "3", "--t-end", "1.0",
+    "--receivers", "[[4000, 4000, 0]]",
+]
+
+
+def test_serve_quarantines_torn_spool_json(tmp_path, capsys):
+    spool, out_dir = str(tmp_path / "spool"), str(tmp_path / "out")
+    assert main(["submit", "--spool", spool] + SPEC_ARGS) == 0
+    # a torn write (crashed submitter, partial copy): must not wedge
+    # the drain or poison the valid request alongside it
+    (tmp_path / "spool" / "req-000099.json").write_text(
+        '{"id": "req-000099", "spec": {'
+    )
+    rc = main(
+        [
+            "serve", "--spool", spool, "--out-dir", out_dir,
+            "--max-wait", "2.0",
+        ]
+    )
+    assert rc == 1
+    assert "QUARANTINED" in capsys.readouterr().out
+    # the valid request was still served and retired
+    assert (tmp_path / "out" / "req-000000.npz").exists()
+    assert (tmp_path / "spool" / "done" / "req-000000.json").exists()
+    # the torn one sits in quarantine with a parse report
+    q = tmp_path / "spool" / "quarantine"
+    assert (q / "req-000099.json").exists()
+    report = json.loads((q / "req-000099.report.json").read_text())
+    assert report["stage"] == "parse"
+    assert report["attempts"] == 1
+    # exactly-once disposition: nothing pending anywhere
+    assert not list((tmp_path / "spool").glob("req-*.json"))
+    assert not list((tmp_path / "spool" / "inflight").glob("req-*"))
+
+
+def test_serve_replays_claimed_inflight_requests(tmp_path, capsys):
+    # a predecessor claimed the request into inflight/ and was killed
+    # mid-solve; a restarted serve replays it to done/ exactly once
+    spool = str(tmp_path / "spool")
+    assert main(["submit", "--spool", spool] + SPEC_ARGS) == 0
+    inflight = tmp_path / "spool" / "inflight"
+    inflight.mkdir()
+    (tmp_path / "spool" / "req-000000.json").rename(
+        inflight / "req-000000.json"
+    )
+    rc = main(
+        [
+            "serve", "--spool", spool,
+            "--out-dir", str(tmp_path / "out"), "--max-wait", "2.0",
+        ]
+    )
+    assert rc == 0
+    assert (tmp_path / "out" / "req-000000.npz").exists()
+    assert (tmp_path / "spool" / "done" / "req-000000.json").exists()
+    assert not list(inflight.glob("req-*"))
+
+
+def test_serve_injected_fault_retries_then_serves(tmp_path, monkeypatch, capsys):
+    # a one-shot NaN injection fails attempt 1; the drain's retry
+    # pass advances the fault plan and attempt 2 runs clean
+    monkeypatch.setenv("REPRO_FAULTS", "nan:rank=0,step=1")
+    spool = str(tmp_path / "spool")
+    assert main(["submit", "--spool", spool] + SPEC_ARGS) == 0
+    rc = main(
+        [
+            "serve", "--spool", spool,
+            "--out-dir", str(tmp_path / "out"), "--max-wait", "2.0",
+        ]
+    )
+    assert rc == 0
+    assert "will retry" in capsys.readouterr().out
+    assert (tmp_path / "out" / "req-000000.npz").exists()
+    assert (tmp_path / "spool" / "done" / "req-000000.json").exists()
+
+
+def test_serve_quarantines_at_max_attempts(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_FAULTS", "nan:rank=0,step=1")
+    spool = str(tmp_path / "spool")
+    assert main(["submit", "--spool", spool] + SPEC_ARGS) == 0
+    rc = main(
+        [
+            "serve", "--spool", spool,
+            "--out-dir", str(tmp_path / "out"),
+            "--max-wait", "2.0", "--max-attempts", "1",
+        ]
+    )
+    assert rc == 1
+    q = tmp_path / "spool" / "quarantine"
+    assert (q / "req-000000.json").exists()
+    report = json.loads((q / "req-000000.report.json").read_text())
+    assert report["stage"] == "solve"
+    assert report["attempts"] == 1
+    assert report["error_type"] == "PoisonedRequestError"
+    assert not list((tmp_path / "spool" / "inflight").glob("req-*"))
